@@ -1,0 +1,49 @@
+# Development entry points. Everything is plain `go` — the Makefile only
+# names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The testing.B series (one family per paper artifact; see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the EXPERIMENTS.md tables (E1-E12).
+experiments:
+	$(GO) run ./cmd/wlq-bench
+
+experiments-quick:
+	$(GO) run ./cmd/wlq-bench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clinic
+	$(GO) run ./examples/audit
+	$(GO) run ./examples/monitor
+
+# Short fuzzing pass over the parsers and codecs.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/core/pattern/
+	$(GO) test -fuzz=FuzzDecodeText -fuzztime=30s ./internal/logio/
+	$(GO) test -fuzz=FuzzDecodeJSONL -fuzztime=30s ./internal/logio/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E1", "E10", "thm1-worstcase", "Lemma 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -list output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "E1", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MATCH") {
+		t.Errorf("E1 output:\n%s", buf.String())
+	}
+	// By name too.
+	buf.Reset()
+	if err := run([]string{"-exp", "incident-tree", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "incident tree") {
+		t.Errorf("E2 output:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "E99"}, &buf); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("want error for bad flag")
+	}
+}

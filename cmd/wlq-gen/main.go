@@ -1,0 +1,121 @@
+// Command wlq-gen generates workflow logs for experimentation.
+//
+// Usage:
+//
+//	wlq-gen -model clinic -instances 1000 -seed 7 -o referrals.jsonl
+//	wlq-gen -model random -instances 50 -mean-length 30 -alphabet 12 -skew 1.2 -o random.txt
+//	wlq-gen -model fig3 -o fig3.txt
+//
+// Output format is inferred from the -o extension (.jsonl/.json for JSON
+// lines, .log/.txt/.tsv for the compact text format); "-o -" prints the
+// Figure 3-style table to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wlq"
+	"wlq/internal/clinic"
+	"wlq/internal/gen"
+	"wlq/internal/models"
+	"wlq/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wlq-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wlq-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		model      = fs.String("model", "clinic", "log source: clinic, random, fig3, orders, loans, or helpdesk")
+		instances  = fs.Int("instances", 100, "number of workflow instances")
+		seed       = fs.Int64("seed", 1, "random seed")
+		meanLength = fs.Int("mean-length", 20, "mean activities per instance (random model)")
+		alphabet   = fs.Int("alphabet", 8, "activity alphabet size (random model)")
+		skew       = fs.Float64("skew", 0, "Zipf skew of activity frequencies (random model)")
+		complete   = fs.Float64("complete", 1.0, "fraction of instances that complete")
+		out        = fs.String("o", "-", "output file (extension selects format) or - for stdout")
+		dotModel   = fs.Bool("dot-model", false, "emit the model's Graphviz flowchart instead of a log (clinic/orders/loans/helpdesk)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dotModel {
+		var m *workflow.Model
+		switch *model {
+		case "clinic":
+			m = clinic.Model()
+		case "orders", "loans", "helpdesk":
+			c, err := models.ByName(*model)
+			if err != nil {
+				return err
+			}
+			m = c.Model
+		default:
+			return fmt.Errorf("-dot-model: no workflow model for %q", *model)
+		}
+		fmt.Fprint(stdout, m.Dot())
+		return nil
+	}
+
+	var log *wlq.Log
+	var err error
+	switch *model {
+	case "fig3":
+		log = wlq.ClinicFig3()
+	case "clinic":
+		log, err = wlq.ClinicLog(*instances, *seed)
+	case "orders", "loans", "helpdesk":
+		var c models.Catalog
+		if c, err = models.ByName(*model); err == nil {
+			log, err = c.Generate(*instances, *seed)
+		}
+	case "random":
+		log, err = gen.RandomLog(gen.LogParams{
+			Instances:        *instances,
+			MeanLength:       *meanLength,
+			Alphabet:         gen.Alphabet(*alphabet),
+			Skew:             *skew,
+			CompleteFraction: *complete,
+			Seed:             *seed,
+		})
+	default:
+		return fmt.Errorf("unknown -model %q (want clinic, random, fig3, orders, loans, or helpdesk)", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *out == "-" {
+		fmt.Fprint(stdout, log)
+		return nil
+	}
+	if strings.HasSuffix(strings.ToLower(*out), ".csv") {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := wlq.ExportCSV(f, log); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := wlq.SaveLog(*out, log); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d records (%d instances) to %s\n",
+		log.Len(), len(log.WIDs()), *out)
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wlq"
+)
+
+func runGen(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestFig3ToStdout(t *testing.T) {
+	out, _, err := runGen(t, "-model", "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GetRefer", "CheckIn", "lsn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in stdout", want)
+		}
+	}
+}
+
+func TestClinicToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	_, stderr, err := runGen(t, "-model", "clinic", "-instances", "20", "-seed", "5", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "wrote") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	logData, err := wlq.LoadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logData.WIDs()) != 20 {
+		t.Errorf("instances = %d", len(logData.WIDs()))
+	}
+}
+
+func TestRandomModelRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "random.txt")
+	_, _, err := runGen(t,
+		"-model", "random", "-instances", "10", "-mean-length", "6",
+		"-alphabet", "4", "-skew", "1.0", "-complete", "0.5", "-seed", "3",
+		"-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logData, err := wlq.LoadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := logData.Validate(); err != nil {
+		t.Errorf("generated log invalid: %v", err)
+	}
+	acts := logData.Activities()
+	// 4 synthetic activities plus START (and possibly END).
+	if len(acts) < 4 {
+		t.Errorf("activities = %v", acts)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "bogus"},
+		{"-model", "random", "-instances", "0"},
+		{"-model", "clinic", "-instances", "0"},
+		{"-model", "clinic", "-o", "out.unknownext"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, _, err := runGen(t, args...); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	_, stderr, err := runGen(t, "-model", "clinic", "-instances", "5", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stderr
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "case,activity") {
+		t.Errorf("csv header missing:\n%.200s", data)
+	}
+}
+
+func TestDotModel(t *testing.T) {
+	for _, model := range []string{"clinic", "orders", "loans", "helpdesk"} {
+		out, _, err := runGen(t, "-model", model, "-dot-model")
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if !strings.Contains(out, "digraph") || !strings.Contains(out, "shape=diamond") {
+			t.Errorf("%s dot output:\n%.200s", model, out)
+		}
+	}
+	if _, _, err := runGen(t, "-model", "fig3", "-dot-model"); err == nil {
+		t.Error("fig3 has no model; want error")
+	}
+}

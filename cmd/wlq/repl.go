@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"wlq"
+)
+
+// repl reads queries from in, one per line, and evaluates each against the
+// engine. Besides plain queries it understands a few commands:
+//
+//	\help             list commands
+//	\stats            log statistics
+//	\tree <query>     print the query's incident tree
+//	\explain <query>  print the evaluation plan
+//	\count <query>    print |incL(p)| only
+//	\exists <query>   print yes/no only
+//	\quit             exit
+func repl(engine *wlq.Engine, in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, `wlq interactive mode — type a query, or \help`)
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "wlq> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case `\quit`, `\q`, `\exit`:
+			return nil
+		case `\help`:
+			fmt.Fprintln(out, `commands:
+  <query>           evaluate and print incidents
+  \count <query>    print the number of incidents
+  \exists <query>   print whether any incident exists
+  \tree <query>     print the incident tree (paper Figure 4)
+  \explain <query>  print the evaluation plan
+  \stats            print log statistics
+  \quit             exit`)
+		case `\stats`:
+			printStats(out, engine.Log())
+		case `\tree`:
+			p, err := wlq.ParsePattern(rest)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, wlq.PatternTree(p))
+		case `\explain`:
+			text, err := engine.Explain(rest)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, text)
+		case `\count`:
+			n, err := engine.Count(rest)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, n)
+		case `\exists`:
+			ok, err := engine.Exists(rest)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, ok)
+		default:
+			if strings.HasPrefix(cmd, `\`) {
+				fmt.Fprintf(out, "error: unknown command %s (try \\help)\n", cmd)
+				continue
+			}
+			set, err := engine.Query(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintf(out, "%d incident(s)\n", set.Len())
+			const maxShown = 20
+			for i, inc := range set.Incidents() {
+				if i == maxShown {
+					fmt.Fprintf(out, "  ... %d more\n", set.Len()-maxShown)
+					break
+				}
+				fmt.Fprintln(out, " ", inc)
+			}
+		}
+	}
+}

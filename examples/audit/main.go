@@ -1,0 +1,129 @@
+// Audit: enact thousands of interleaved instances of the order-fulfillment
+// model and audit the resulting log for compliance violations with incident
+// patterns — the "detecting anomalous or malicious behavior" application
+// the paper's conclusion proposes — first with hand-written queries, then
+// with the rule set derived automatically from the clean reference model
+// ("constructing queries from business principles").
+//
+// The models library deliberately plants buggy paths (e.g. a shipment
+// without a fraud check in ~5% of orders) at documented rates, and the
+// audit queries find exactly those instances.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wlq"
+	"wlq/internal/audit"
+	"wlq/internal/models"
+)
+
+func main() {
+	catalog := models.Orders()
+	logData, err := catalog.Generate(5000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enacted %d orders -> %d log records\n\n", len(logData.WIDs()), logData.Len())
+
+	engine := wlq.NewEngine(logData)
+
+	audits := []struct {
+		rule  string
+		query string
+		// violation is true when a match means non-compliance.
+		violation bool
+	}{
+		{
+			rule:      "every shipment is preceded by a fraud check",
+			query:     catalog.Anomalies[0].Query,
+			violation: true,
+		},
+		{
+			rule:      "pick/pack and invoicing proceed in parallel",
+			query:     "Pick & Invoice",
+			violation: false,
+		},
+		{
+			rule:      "refunds only after a return",
+			query:     "Refund -> Return",
+			violation: true,
+		},
+		{
+			rule:      "packing immediately after picking",
+			query:     "Pick . Pack",
+			violation: false,
+		},
+	}
+	for _, a := range audits {
+		start := time.Now()
+		n, err := engine.DistinctInstances(a.query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "OK"
+		if a.violation && n > 0 {
+			verdict = "VIOLATION"
+		} else if a.violation {
+			verdict = "clean"
+		}
+		fmt.Printf("rule: %s\n  query: %-40s  instances: %-5d  [%s]  (%v)\n",
+			a.rule, a.query, n, verdict, time.Since(start).Round(time.Microsecond))
+	}
+
+	// Drill into the planted bug: shipped orders whose Validate was NOT
+	// followed (consecutively) by FraudCheck.
+	fmt.Println("\nunchecked shipments by express flag (written at Receive):")
+	report, err := engine.GroupByInstanceAttr(catalog.Anomalies[0].Query, "express")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	// How often does the bug fire? Compare against all shipped orders and
+	// the rate the model documents.
+	shipped, err := engine.DistinctInstances("Ship")
+	if err != nil {
+		log.Fatal(err)
+	}
+	unchecked, err := engine.DistinctInstances(catalog.Anomalies[0].Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d of %d shipped orders (%.1f%%) bypassed the fraud check (planted rate: %.0f%%)\n",
+		unchecked, shipped, 100*float64(unchecked)/float64(shipped),
+		100*catalog.Anomalies[0].Rate)
+
+	// The same audit, across the other models in the library.
+	fmt.Println("\nanomaly sweep across every model in the library:")
+	for name, c := range models.All() {
+		l, err := c.Generate(2000, 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := wlq.NewEngine(l)
+		for _, anomaly := range c.Anomalies {
+			n, err := e.DistinctInstances(anomaly.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10s %-40s %4d / 2000 instances (planted ≈%.1f%%)\n",
+				name, anomaly.Name, n, 100*anomaly.Rate)
+		}
+	}
+
+	// Finally, skip the hand-written queries entirely: derive the complete
+	// compliance rule set from the clean reference model ("constructing
+	// queries from business principles", the paper's Section 6 outlook) and
+	// let the generated rules localize the deviations.
+	fmt.Println("\nauto-derived audit (rules generated from the clean reference model):")
+	derived, err := audit.Check(logData, catalog.Reference)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(derived)
+}

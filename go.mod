@@ -1,0 +1,3 @@
+module wlq
+
+go 1.22

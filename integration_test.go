@@ -1,0 +1,184 @@
+package wlq_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"wlq"
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/gen"
+	"wlq/internal/logio"
+	"wlq/internal/models"
+	"wlq/internal/stream"
+)
+
+// TestEndToEndConsistency is the kitchen-sink cross-check: for several
+// generated workloads and a battery of queries, every execution path in the
+// repository must agree — naive vs merge joins, optimizer on vs off,
+// serial vs parallel, batch vs streaming — and every produced incident
+// must pass the independent Definition 4 verifier and yield bindings.
+func TestEndToEndConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end consistency is slow")
+	}
+
+	type workload struct {
+		name    string
+		log     *wlq.Log
+		queries []string
+	}
+	var workloads []workload
+
+	clinicLog, err := wlq.ClinicLog(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{
+		name: "clinic",
+		log:  clinicLog,
+		queries: []string{
+			"UpdateRefer -> GetReimburse",
+			"GetReimburse -> UpdateRefer",
+			"SeeDoctor . PayTreatment",
+			"GetRefer[balance>5000]",
+			"(SeeDoctor -> PayTreatment) | (SeeDoctor -> UpdateRefer)",
+			"UpdateRefer & TakeTreatment",
+			"!GetRefer . CheckIn",
+		},
+	})
+	for name, c := range models.All() {
+		l, err := c.Generate(120, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var queries []string
+		for _, a := range c.Anomalies {
+			queries = append(queries, a.Query)
+		}
+		acts := wlq.ProfileLog(l).TopActivities(3)
+		if len(acts) >= 2 {
+			queries = append(queries,
+				acts[0]+" -> "+acts[1],
+				acts[0]+" . "+acts[1],
+				acts[0]+" & "+acts[1],
+				acts[0]+" | "+acts[1],
+			)
+		}
+		workloads = append(workloads, workload{name: name, log: l, queries: queries})
+	}
+	workloads = append(workloads, workload{
+		name: "random-skewed",
+		log: gen.MustRandomLog(gen.LogParams{
+			Instances: 40, MeanLength: 25, Alphabet: gen.Alphabet(6), Skew: 1.2, Seed: 31,
+		}),
+		queries: []string{
+			"Act00 -> Act01 -> Act02",
+			"Act00 & Act05",
+			"(Act00 . Act01) | (Act00 . Act02)",
+			"!Act00 . !Act01",
+		},
+	})
+
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			engines := map[string]*wlq.Engine{
+				"default":  wlq.NewEngine(wl.log),
+				"naive":    wlq.NewEngine(wl.log, wlq.WithStrategy(wlq.StrategyNaive)),
+				"no-opt":   wlq.NewEngine(wl.log, wlq.WithoutOptimizer()),
+				"naive-no": wlq.NewEngine(wl.log, wlq.WithStrategy(wlq.StrategyNaive), wlq.WithoutOptimizer()),
+			}
+			ix := eval.NewIndex(wl.log)
+			plainEval := eval.New(ix, eval.Options{})
+
+			for _, q := range wl.queries {
+				reference, err := engines["default"].Query(q)
+				if err != nil {
+					t.Fatalf("%s: %v", q, err)
+				}
+				for name, e := range engines {
+					got, err := e.Query(q)
+					if err != nil {
+						t.Fatalf("%s engine %s: %v", q, name, err)
+					}
+					if !got.Equal(reference) {
+						t.Errorf("%s: engine %s disagrees", q, name)
+					}
+					exists, err := e.Exists(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if exists != (reference.Len() > 0) {
+						t.Errorf("%s: engine %s Exists mismatch", q, name)
+					}
+				}
+
+				// Parallel evaluation agrees.
+				p := pattern.MustParse(q)
+				for _, workers := range []int{2, 7} {
+					if !plainEval.EvalParallel(p, workers).Equal(reference) {
+						t.Errorf("%s: EvalParallel(%d) disagrees", q, workers)
+					}
+				}
+
+				// Every incident verifies and binds.
+				for _, inc := range reference.Incidents() {
+					if !plainEval.Verify(p, inc) {
+						t.Errorf("%s: incident %s fails the Definition 4 verifier", q, inc)
+					}
+					if _, err := engines["default"].BindIncident(q, inc); err != nil {
+						t.Errorf("%s: incident %s has no bindings: %v", q, inc, err)
+					}
+				}
+			}
+
+			// Streaming monitor agrees with batch per-instance counts.
+			monitor := stream.NewMonitor(nil)
+			for i, q := range wl.queries {
+				if err := monitor.Watch(fmt.Sprintf("w%d", i), q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := monitor.IngestLog(wl.log); err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range wl.queries {
+				batch, err := engines["default"].InstancesMatching(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := monitor.FiredInstances(fmt.Sprintf("w%d", i)); got != len(batch) {
+					t.Errorf("%s: monitor fired %d instances, batch %d", q, got, len(batch))
+				}
+			}
+
+			// Serialization round trips preserve all query results.
+			for _, format := range []logio.Format{logio.FormatJSONL, logio.FormatText} {
+				var buf bytes.Buffer
+				if err := logio.Encode(&buf, wl.log, format); err != nil {
+					t.Fatal(err)
+				}
+				back, err := logio.Decode(&buf, format)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e2 := wlq.NewEngine(back)
+				for _, q := range wl.queries {
+					a, err := engines["default"].Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := e2.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !a.Equal(b) {
+						t.Errorf("%s: results changed across %v round trip", q, format)
+					}
+				}
+			}
+		})
+	}
+}

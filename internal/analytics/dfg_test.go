@@ -1,0 +1,112 @@
+package analytics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wlq/internal/clinic"
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+)
+
+func TestDirectlyFollowsFig3(t *testing.T) {
+	g := DirectlyFollows(clinic.Fig3(), false)
+
+	// Hand-checked adjacencies within Figure 3's instances.
+	checks := []struct {
+		from, to string
+		want     int
+	}{
+		{"GetRefer", "CheckIn", 2},       // wid 1 and wid 2
+		{"SeeDoctor", "PayTreatment", 3}, // l9-l10, l11-l12, l17-l18
+		{"SeeDoctor", "UpdateRefer", 1},  // l13-l14
+		{"PayTreatment", "SeeDoctor", 1}, // l10-l11
+		{"CheckIn", "SeeDoctor", 2},
+		{"PayTreatment", "GetReimburse", 1},
+		{"GetReimburse", "CompleteRefer", 1},
+		{"PayTreatment", "TakeTreatment", 1},
+		{"TakeTreatment", "GetReimburse", 1},
+		{"UpdateRefer", "SeeDoctor", 1},
+		{"CompleteRefer", "GetRefer", 0}, // never adjacent
+	}
+	for _, c := range checks {
+		if got := g.Count(c.from, c.to); got != c.want {
+			t.Errorf("Count(%s, %s) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+
+	// Without endpoints, no START arcs appear.
+	for _, e := range g.Edges() {
+		if e.From == "START" || e.To == "END" {
+			t.Errorf("endpoint arc leaked: %+v", e)
+		}
+	}
+
+	// With endpoints, every instance contributes a START -> GetRefer arc.
+	ge := DirectlyFollows(clinic.Fig3(), true)
+	if got := ge.Count("START", "GetRefer"); got != 3 {
+		t.Errorf("START -> GetRefer = %d, want 3", got)
+	}
+}
+
+// TestDFGMatchesConsecutiveQueries: every DFG edge count must equal the
+// incident count of the corresponding ⊙ query — the DFG is exactly the
+// atomic consecutive relation aggregated by activity pair.
+func TestDFGMatchesConsecutiveQueries(t *testing.T) {
+	l, err := clinic.Generate(100, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := DirectlyFollows(l, true)
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+	if g.Len() == 0 {
+		t.Fatal("empty DFG")
+	}
+	for _, edge := range g.Edges() {
+		q := fmt.Sprintf("%q . %q", edge.From, edge.To)
+		p, err := pattern.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", q, err)
+		}
+		if got := e.Count(p); got != edge.Count {
+			t.Errorf("edge %s->%s: DFG %d, query %d", edge.From, edge.To, edge.Count, got)
+		}
+	}
+}
+
+func TestDFGEdgesSorted(t *testing.T) {
+	g := DirectlyFollows(clinic.Fig3(), false)
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].Count < edges[i].Count {
+			t.Fatalf("edges unsorted: %v", edges)
+		}
+	}
+	if edges[0].From != "SeeDoctor" || edges[0].To != "PayTreatment" {
+		t.Errorf("heaviest edge = %+v", edges[0])
+	}
+}
+
+func TestDFGString(t *testing.T) {
+	s := DirectlyFollows(clinic.Fig3(), false).String()
+	if !strings.Contains(s, "SeeDoctor -> PayTreatment  3") {
+		t.Errorf("String output:\n%s", s)
+	}
+}
+
+func TestDFGDot(t *testing.T) {
+	dot := DirectlyFollows(clinic.Fig3(), true).Dot("fig3")
+	for _, want := range []string{
+		`digraph "fig3" {`,
+		`"START" -> "GetRefer"`,
+		"penwidth=",
+		"label=3",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}

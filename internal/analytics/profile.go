@@ -1,0 +1,140 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlq/internal/wlog"
+)
+
+// Profile summarizes a workflow log's shape: size, instance statistics,
+// interleaving, and activity frequencies. It backs the CLI's -stats view
+// and gives analysts a first look before writing incident-pattern queries.
+type Profile struct {
+	// Records is |L|.
+	Records int
+	// Instances is the number of workflow instances.
+	Instances int
+	// Completed is the number of instances with an END record.
+	Completed int
+	// MinLen, MeanLen and MaxLen describe instance lengths in records
+	// (START/END included).
+	MinLen, MaxLen int
+	MeanLen        float64
+	// MaxConcurrent is the largest number of instances simultaneously
+	// in flight (started, not yet at their last record) at any lsn.
+	MaxConcurrent int
+	// Switches counts adjacent record pairs belonging to different
+	// instances — a direct measure of interleaving (0 for serial logs).
+	Switches int
+	// Activities lists activity frequencies, most frequent first.
+	Activities []wlog.ActivityCount
+}
+
+// ProfileLog computes a Profile in one pass (plus the histogram pass).
+func ProfileLog(l *wlog.Log) Profile {
+	p := Profile{
+		Records:    l.Len(),
+		Activities: wlog.ActivityHistogram(l),
+		MinLen:     int(^uint(0) >> 1),
+	}
+
+	// Last record position per instance, for the concurrency profile.
+	lastOf := make(map[uint64]int)
+	records := l.Records()
+	for i, r := range records {
+		lastOf[r.WID] = i
+	}
+	p.Instances = len(lastOf)
+
+	active := 0
+	seen := make(map[uint64]bool)
+	var prevWID uint64
+	for i, r := range records {
+		if i > 0 && r.WID != prevWID {
+			p.Switches++
+		}
+		prevWID = r.WID
+		if !seen[r.WID] {
+			seen[r.WID] = true
+			active++
+			if active > p.MaxConcurrent {
+				p.MaxConcurrent = active
+			}
+		}
+		if lastOf[r.WID] == i {
+			active--
+		}
+	}
+
+	total := 0
+	for _, wid := range l.WIDs() {
+		inst := l.Instance(wid)
+		n := len(inst)
+		total += n
+		if n < p.MinLen {
+			p.MinLen = n
+		}
+		if n > p.MaxLen {
+			p.MaxLen = n
+		}
+		if l.InstanceComplete(wid) {
+			p.Completed++
+		}
+	}
+	if p.Instances > 0 {
+		p.MeanLen = float64(total) / float64(p.Instances)
+	} else {
+		p.MinLen = 0
+	}
+	return p
+}
+
+// String renders the profile as an aligned, human-readable block.
+func (p Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "records:         %d\n", p.Records)
+	fmt.Fprintf(&sb, "instances:       %d (%d complete)\n", p.Instances, p.Completed)
+	fmt.Fprintf(&sb, "instance length: min %d / mean %.1f / max %d\n", p.MinLen, p.MeanLen, p.MaxLen)
+	fmt.Fprintf(&sb, "max concurrent:  %d\n", p.MaxConcurrent)
+	fmt.Fprintf(&sb, "interleaving:    %d instance switches across %d records\n", p.Switches, p.Records)
+	sb.WriteString("activities:\n")
+	shown := p.Activities
+	const maxShown = 20
+	truncated := 0
+	if len(shown) > maxShown {
+		truncated = len(shown) - maxShown
+		shown = shown[:maxShown]
+	}
+	width := 0
+	for _, ac := range shown {
+		if len(ac.Activity) > width {
+			width = len(ac.Activity)
+		}
+	}
+	for _, ac := range shown {
+		fmt.Fprintf(&sb, "  %-*s %6d\n", width, ac.Activity, ac.Count)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&sb, "  ... %d more\n", truncated)
+	}
+	return sb.String()
+}
+
+// TopActivities returns the n most frequent activity names (fewer when the
+// log has fewer), excluding START and END.
+func (p Profile) TopActivities(n int) []string {
+	out := make([]string, 0, n)
+	for _, ac := range p.Activities {
+		if ac.Activity == wlog.ActivityStart || ac.Activity == wlog.ActivityEnd {
+			continue
+		}
+		out = append(out, ac.Activity)
+		if len(out) == n {
+			break
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,177 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/models"
+	"wlq/internal/workflow"
+)
+
+func TestRulesFromSimpleModel(t *testing.T) {
+	m := &workflow.Model{Name: "seq", Root: workflow.Sequence{
+		workflow.Task{Name: "A"}, workflow.Task{Name: "B"},
+	}}
+	rules, err := RulesFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs over {A,B}: (A,A) no EF → rule; (A,B) DF → none; (B,A) no EF →
+	// rule; (B,B) no EF → rule. Exactly three rules.
+	if len(rules) != 3 {
+		t.Fatalf("rules = %v", rules)
+	}
+	queries := map[string]bool{}
+	for _, r := range rules {
+		queries[r.Query] = true
+		if r.Principle == "" {
+			t.Errorf("rule %q lacks a principle", r.Query)
+		}
+	}
+	for _, want := range []string{"A -> A", "B -> A", "B -> B"} {
+		if !queries[want] {
+			t.Errorf("missing rule %q in %v", want, queries)
+		}
+	}
+}
+
+func TestRulesQuoteOddActivityNames(t *testing.T) {
+	m := &workflow.Model{Name: "odd", Root: workflow.Sequence{
+		workflow.Task{Name: "two words"}, workflow.Task{Name: "B"},
+	}}
+	rules, err := RulesFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if _, err := pattern.Parse(r.Query); err != nil {
+			t.Errorf("derived rule %q does not parse: %v", r.Query, err)
+		}
+	}
+}
+
+// TestCleanLogsPassTheirReferenceAudit: logs enacted from the reference
+// model itself violate none of the rules derived from it.
+func TestCleanLogsPassTheirReferenceAudit(t *testing.T) {
+	for name, c := range models.All() {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			clean := models.Catalog{Model: c.Reference}
+			l, err := clean.Generate(400, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := Check(l, c.Reference)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.Clean() {
+				t.Errorf("clean log flagged:\n%s", report)
+			}
+			if report.RulesChecked == 0 {
+				t.Error("no rules derived")
+			}
+		})
+	}
+}
+
+// TestBuggyLogsFailTheirReferenceAudit: logs from the planted model violate
+// the reference-derived rules, and the flagged instances cover exactly the
+// instances the catalog's hand-written anomaly queries flag.
+func TestBuggyLogsFailTheirReferenceAudit(t *testing.T) {
+	for name, c := range models.All() {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			l, err := c.Generate(1500, 29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := Check(l, c.Reference)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report.Violations) == 0 {
+				t.Fatalf("planted log passed the audit:\n%s", report)
+			}
+			if len(report.UnknownActivities) != 0 {
+				t.Errorf("plants add no new activities, yet: %v", report.UnknownActivities)
+			}
+
+			flagged := map[uint64]bool{}
+			for _, v := range report.Violations {
+				for _, wid := range v.Instances {
+					flagged[wid] = true
+				}
+			}
+			ix := eval.NewIndex(l)
+			e := eval.New(ix, eval.Options{})
+			planted := map[uint64]bool{}
+			for _, a := range c.Anomalies {
+				for _, inc := range e.Eval(pattern.MustParse(a.Query)).Incidents() {
+					planted[inc.WID()] = true
+				}
+			}
+			// Every hand-flagged instance must be caught by the derived
+			// rules (the generated audit subsumes the hand-written queries).
+			for wid := range planted {
+				if !flagged[wid] {
+					t.Errorf("instance %d caught by hand-written query but not by derived rules", wid)
+				}
+			}
+			if len(planted) == 0 {
+				t.Error("no planted instances to compare against")
+			}
+		})
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := models.Orders()
+	l, err := c.Generate(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Check(l, c.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := report.String()
+	if !strings.Contains(s, "VIOLATION") || !strings.Contains(s, "rule(s) checked") {
+		t.Errorf("report:\n%s", s)
+	}
+}
+
+func TestCheckUnknownActivities(t *testing.T) {
+	// Audit the clinic-shaped log against the orders reference: everything
+	// is unknown.
+	c := models.Orders()
+	other := models.Loans()
+	l, err := other.Generate(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Check(l, c.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.UnknownActivities) == 0 {
+		t.Error("loans activities not reported as unknown to the orders model")
+	}
+	if report.Clean() {
+		t.Error("cross-model audit reported clean")
+	}
+}
+
+func TestCheckInvalidReference(t *testing.T) {
+	bad := &workflow.Model{Name: "bad", Root: workflow.Sequence{}}
+	c := models.Orders()
+	l, err := c.Generate(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(l, bad); err == nil {
+		t.Error("invalid reference accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Package clinic provides the paper's running example: the medical-clinic
+// referral workflow of Examples 1–5. It ships two artifacts:
+//
+//   - Fig3, a verbatim transcription of the 20-record log prefix shown in
+//     Figure 3 of the paper (experiment E1/E2 in DESIGN.md), and
+//   - Model/Generate (model.go), a generative workflow model of the referral
+//     process described in Example 2, used to produce arbitrarily large
+//     clinic logs with the same activity vocabulary.
+//
+// Note on spelling: Figure 3 of the paper prints the reimbursement activity
+// as "GetReimberse" while the queries in Examples 3 and 5 spell it
+// "GetReimburse". We normalize to GetReimburse throughout so the worked
+// queries match the worked log, as the authors clearly intended.
+package clinic
+
+import (
+	"wlq/internal/wlog"
+)
+
+// Activity names of the referral workflow.
+const (
+	ActGetRefer      = "GetRefer"
+	ActCheckIn       = "CheckIn"
+	ActSeeDoctor     = "SeeDoctor"
+	ActPayTreatment  = "PayTreatment"
+	ActTakeTreatment = "TakeTreatment"
+	ActUpdateRefer   = "UpdateRefer"
+	ActGetReimburse  = "GetReimburse"
+	ActCompleteRefer = "CompleteRefer"
+)
+
+// Fig3 returns the initial log segment of Figure 3: twenty records over
+// three concurrently running referral instances (wid 3 has not completed).
+// The attribute maps are transcribed cell by cell.
+func Fig3() *wlog.Log {
+	a := wlog.Attrs
+	return wlog.MustNew([]wlog.Record{
+		{LSN: 1, WID: 1, Seq: 1, Activity: wlog.ActivityStart},
+		{LSN: 2, WID: 2, Seq: 1, Activity: wlog.ActivityStart},
+		{LSN: 3, WID: 1, Seq: 2, Activity: ActGetRefer, Out: a(
+			"hospital", "Public Hospital", "referId", "034d1",
+			"referState", "start", "balance", 1000)},
+		{LSN: 4, WID: 1, Seq: 3, Activity: ActCheckIn,
+			In:  a("referId", "034d1", "referState", "start", "balance", 1000),
+			Out: a("referState", "active")},
+		{LSN: 5, WID: 2, Seq: 2, Activity: ActGetRefer, Out: a(
+			"hospital", "People Hospital", "referId", "022f3",
+			"referState", "start", "balance", 2000)},
+		{LSN: 6, WID: 3, Seq: 1, Activity: wlog.ActivityStart},
+		{LSN: 7, WID: 3, Seq: 2, Activity: ActGetRefer, Out: a(
+			"hospital", "Public Hospital", "referId", "048s1",
+			"referState", "start", "balance", 500)},
+		{LSN: 8, WID: 2, Seq: 3, Activity: ActCheckIn,
+			In:  a("referId", "022f3", "referState", "start", "balance", 2000),
+			Out: a("referState", "active")},
+		{LSN: 9, WID: 1, Seq: 4, Activity: ActSeeDoctor,
+			In: a("referId", "034d1", "referState", "active")},
+		{LSN: 10, WID: 1, Seq: 5, Activity: ActPayTreatment,
+			In:  a("referId", "034d1", "referState", "active"),
+			Out: a("receipt1", 560, "receipt1State", "active")},
+		{LSN: 11, WID: 1, Seq: 6, Activity: ActSeeDoctor,
+			In: a("referId", "034d1", "referState", "active")},
+		{LSN: 12, WID: 1, Seq: 7, Activity: ActPayTreatment,
+			In:  a("referId", "034d1", "referState", "active"),
+			Out: a("receipt2", 460, "receipt2State", "active")},
+		{LSN: 13, WID: 2, Seq: 4, Activity: ActSeeDoctor,
+			In: a("referId", "022f3", "referState", "active")},
+		{LSN: 14, WID: 2, Seq: 5, Activity: ActUpdateRefer,
+			In:  a("referId", "022f3", "referState", "active", "balance", 2000),
+			Out: a("balance", 5000)},
+		{LSN: 15, WID: 1, Seq: 8, Activity: ActGetReimburse,
+			In: a("referState", "active", "balance", 1000,
+				"receipt1", 560, "receipt1State", "active",
+				"receipt2", 460, "receipt2State", "active"),
+			Out: a("amount", 1020, "balance", 0, "reimburse", 1000,
+				"receipt1State", "complete", "receipt2State", "complete")},
+		{LSN: 16, WID: 1, Seq: 9, Activity: ActCompleteRefer,
+			In:  a("referState", "active", "balance", 0),
+			Out: a("referState", "complete")},
+		{LSN: 17, WID: 2, Seq: 6, Activity: ActSeeDoctor,
+			In: a("referId", "022f3", "referState", "active")},
+		{LSN: 18, WID: 2, Seq: 7, Activity: ActPayTreatment,
+			In:  a("referId", "022f3", "referState", "active"),
+			Out: a("receipt1", 4560, "receipt1State", "active")},
+		{LSN: 19, WID: 2, Seq: 8, Activity: ActTakeTreatment,
+			In: a("referId", "022f3", "receipt1", 4560)},
+		{LSN: 20, WID: 2, Seq: 9, Activity: ActGetReimburse,
+			In: a("referState", "active", "balance", 5000,
+				"receipt1", 6560, "receipt1State", "active"),
+			Out: a("amount", 6560, "balance", 0, "reimburse", 5000,
+				"receipt1State", "complete")},
+	})
+}

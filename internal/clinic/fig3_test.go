@@ -1,0 +1,148 @@
+package clinic
+
+import (
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/wlog"
+)
+
+func TestFig3IsValid(t *testing.T) {
+	l := Fig3()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Figure 3 log invalid: %v", err)
+	}
+	if l.Len() != 20 {
+		t.Errorf("Len = %d, want 20", l.Len())
+	}
+	wids := l.WIDs()
+	if len(wids) != 3 {
+		t.Errorf("WIDs = %v, want 3 instances", wids)
+	}
+	// No instance has completed in the prefix shown (no END records).
+	for _, wid := range wids {
+		if l.InstanceComplete(wid) {
+			t.Errorf("instance %d should be incomplete", wid)
+		}
+	}
+}
+
+// TestExample1 checks the record the paper dissects in Example 1 (lsn 4).
+func TestExample1(t *testing.T) {
+	l := Fig3()
+	r, ok := l.ByLSN(4)
+	if !ok {
+		t.Fatal("lsn 4 missing")
+	}
+	if r.WID != 1 || r.Seq != 3 || r.Activity != ActCheckIn {
+		t.Errorf("record = %v", r)
+	}
+	wantIn := wlog.Attrs("referId", "034d1", "referState", "start", "balance", 1000)
+	if !r.In.Equal(wantIn) {
+		t.Errorf("αin = %v, want %v", r.In, wantIn)
+	}
+	wantOut := wlog.Attrs("referState", "active")
+	if !r.Out.Equal(wantOut) {
+		t.Errorf("αout = %v, want %v", r.Out, wantOut)
+	}
+}
+
+// TestExample3 evaluates "UpdateRefer -> GetReimburse": the only incident is
+// {l14, l20}, i.e. wid 2 records with is-lsn 5 and 9 (experiment E1).
+func TestExample3(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	got := eval.EvalSet(ix, pattern.MustParse("UpdateRefer -> GetReimburse"))
+	want := incident.NewSet(incident.New(2, 5, 9))
+	if !got.Equal(want) {
+		t.Errorf("incL = %s, want %s", got, want)
+	}
+}
+
+// TestExample5 evaluates "SeeDoctor -> (UpdateRefer -> GetReimburse)".
+// Example 5's final output is {l13, l14, l20}: wid 2, is-lsn {4, 5, 9}.
+// (Example 3's printed "{l13, l14, l19}" is a typo in the paper: l19 is
+// TakeTreatment; the reimbursement record is l20, as Example 5 confirms.)
+func TestExample5(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+
+	// Intermediate check from Example 5: incidents of the SeeDoctor leaf.
+	leaves := eval.EvalSet(ix, pattern.MustParse("SeeDoctor"))
+	wantLeaves := incident.NewSet(
+		incident.New(1, 4), incident.New(1, 6), // l9, l11
+		incident.New(2, 4), incident.New(2, 6), // l13, l17
+	)
+	if !leaves.Equal(wantLeaves) {
+		t.Errorf("incL(SeeDoctor) = %s, want %s", leaves, wantLeaves)
+	}
+
+	got := eval.EvalSet(ix, pattern.MustParse("SeeDoctor -> (UpdateRefer -> GetReimburse)"))
+	want := incident.NewSet(incident.New(2, 4, 5, 9))
+	if !got.Equal(want) {
+		t.Errorf("incL = %s, want %s", got, want)
+	}
+}
+
+// TestSection2Question reproduces the Section 2 question "are there any
+// students who update their referral before they receive a reimbursement?"
+// — the answer on Figure 3 is yes, via instance 2.
+func TestSection2Question(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	e := eval.New(ix, eval.Options{})
+	if !e.Exists(pattern.MustParse("UpdateRefer -> GetReimburse")) {
+		t.Error("paper says the answer is yes")
+	}
+}
+
+// TestMotivatingBalanceQuery exercises the Section 1 motivating query
+// "referrals with balance > 5000" using the guard extension: no referral in
+// the Figure 3 prefix is granted with balance above 5000 (wid 2 reaches
+// 5000 only after UpdateRefer, and only equal, not above).
+func TestMotivatingBalanceQuery(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	if got := eval.EvalSet(ix, pattern.MustParse("GetRefer[balance>5000]")); got.Len() != 0 {
+		t.Errorf("GetRefer[balance>5000] = %s, want empty", got)
+	}
+	got := eval.EvalSet(ix, pattern.MustParse("UpdateRefer[balance>=5000]"))
+	want := incident.NewSet(incident.New(2, 5))
+	if !got.Equal(want) {
+		t.Errorf("UpdateRefer[balance>=5000] = %s, want %s", got, want)
+	}
+}
+
+// TestConsecutiveOnFig3 checks a consecutive query: within instance 1,
+// SeeDoctor is immediately followed by PayTreatment twice (l9-l10 and
+// l11-l12), and in instance 2 once (l17-l18).
+func TestConsecutiveOnFig3(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	got := eval.EvalSet(ix, pattern.MustParse("SeeDoctor . PayTreatment"))
+	want := incident.NewSet(
+		incident.New(1, 4, 5), incident.New(1, 6, 7), incident.New(2, 6, 7),
+	)
+	if !got.Equal(want) {
+		t.Errorf("incL = %s, want %s", got, want)
+	}
+}
+
+// TestParallelOnFig3: UpdateRefer & TakeTreatment both happen in instance 2
+// only, in either order — the parallel operator shuffles them.
+func TestParallelOnFig3(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	got := eval.EvalSet(ix, pattern.MustParse("UpdateRefer & TakeTreatment"))
+	want := incident.NewSet(incident.New(2, 5, 8))
+	if !got.Equal(want) {
+		t.Errorf("incL = %s, want %s", got, want)
+	}
+}
+
+// TestChoiceOnFig3: CompleteRefer | TakeTreatment matches the one
+// CompleteRefer (wid 1) and the one TakeTreatment (wid 2).
+func TestChoiceOnFig3(t *testing.T) {
+	ix := eval.NewIndex(Fig3())
+	got := eval.EvalSet(ix, pattern.MustParse("CompleteRefer | TakeTreatment"))
+	want := incident.NewSet(incident.New(1, 9), incident.New(2, 8))
+	if !got.Equal(want) {
+		t.Errorf("incL = %s, want %s", got, want)
+	}
+}

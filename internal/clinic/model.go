@@ -1,0 +1,188 @@
+package clinic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wlq/internal/enact"
+	"wlq/internal/wlog"
+	"wlq/internal/workflow"
+)
+
+// hospitals mirrors the names appearing in Figure 3.
+var hospitals = []string{"Public Hospital", "People Hospital", "Union Hospital"}
+
+// Model returns a generative workflow model of the referral process narrated
+// in Example 2 of the paper:
+//
+//	GetRefer → CheckIn → { SeeDoctor → (PayTreatment [→ TakeTreatment]
+//	  | UpdateRefer) }* → [GetReimburse [→ UpdateRefer†]] → [CompleteRefer]
+//
+// Data effects reproduce the attribute vocabulary of Figure 3 (hospital,
+// referId, referState, balance, receiptN, receiptNState, amount, reimburse)
+// plus a `year` attribute on GetRefer so the Section 1 motivating query
+// ("how many students every year get referrals with balance > 5000?") has
+// something to group by.
+//
+// † The low-weight UpdateRefer branch after GetReimburse plants the
+// anomaly the paper's introduction hunts for ("students updating a referral
+// after they already got reimbursement"), at a known ~6.25% rate per
+// reimbursed instance, so detection queries have measurable ground truth.
+func Model() *workflow.Model {
+	getRefer := workflow.Task{Name: ActGetRefer, Effect: func(_ wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		balance := int64(500 + 500*rng.Intn(15)) // 500..7500
+		return nil, wlog.Attrs(
+			"hospital", hospitals[rng.Intn(len(hospitals))],
+			"referId", fmt.Sprintf("%05x", rng.Intn(1<<20)),
+			"referState", "start",
+			"balance", balance,
+			"year", int64(2014+rng.Intn(4)),
+		)
+	}}
+
+	checkIn := workflow.Task{Name: ActCheckIn, Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		return wlog.Attrs(
+				"referId", state.Get("referId"),
+				"referState", state.Get("referState"),
+				"balance", state.Get("balance"),
+			),
+			wlog.Attrs("referState", "active")
+	}}
+
+	seeDoctor := workflow.Task{Name: ActSeeDoctor, Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		return wlog.Attrs(
+			"referId", state.Get("referId"),
+			"referState", state.Get("referState"),
+		), nil
+	}}
+
+	payTreatment := workflow.Task{Name: ActPayTreatment, Effect: func(state wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		n := receiptCount(state) + 1
+		amount := int64(20 * (1 + rng.Intn(300))) // 20..6000
+		return wlog.Attrs(
+				"referId", state.Get("referId"),
+				"referState", state.Get("referState"),
+			),
+			wlog.Attrs(
+				fmt.Sprintf("receipt%d", n), amount,
+				fmt.Sprintf("receipt%dState", n), "active",
+			)
+	}}
+
+	takeTreatment := workflow.Task{Name: ActTakeTreatment, Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		n := receiptCount(state)
+		return wlog.Attrs(
+			"referId", state.Get("referId"),
+			fmt.Sprintf("receipt%d", n), state.Get(fmt.Sprintf("receipt%d", n)),
+		), nil
+	}}
+
+	updateRefer := workflow.Task{Name: ActUpdateRefer, Effect: func(state wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		old, _ := state.Get("balance").IntVal()
+		return wlog.Attrs(
+				"referId", state.Get("referId"),
+				"referState", state.Get("referState"),
+				"balance", old,
+			),
+			wlog.Attrs("balance", old+int64(1000*(1+rng.Intn(5))))
+	}}
+
+	getReimburse := workflow.Task{Name: ActGetReimburse, Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		in := wlog.Attrs(
+			"referState", state.Get("referState"),
+			"balance", state.Get("balance"),
+		)
+		var total int64
+		out := wlog.AttrMap{}
+		for n := 1; ; n++ {
+			key := fmt.Sprintf("receipt%d", n)
+			if !state.Has(key) {
+				break
+			}
+			amount, _ := state.Get(key).IntVal()
+			total += amount
+			in[key] = state.Get(key)
+			in[key+"State"] = state.Get(key + "State")
+			out[key+"State"] = wlog.String("complete")
+		}
+		balance, _ := state.Get("balance").IntVal()
+		reimburse := total
+		if reimburse > balance {
+			reimburse = balance
+		}
+		out["amount"] = wlog.Int(total)
+		out["reimburse"] = wlog.Int(reimburse)
+		out["balance"] = wlog.Int(balance - reimburse)
+		return in, out
+	}}
+
+	completeRefer := workflow.Task{Name: ActCompleteRefer, Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+		return wlog.Attrs(
+				"referState", state.Get("referState"),
+				"balance", state.Get("balance"),
+			),
+			wlog.Attrs("referState", "complete")
+	}}
+
+	visit := workflow.Sequence{
+		seeDoctor,
+		workflow.XOR{Branches: []workflow.Branch{
+			{Weight: 3, Step: workflow.Sequence{
+				payTreatment,
+				workflow.XOR{Branches: []workflow.Branch{
+					{Weight: 1, Step: takeTreatment},
+					{Weight: 1, Step: nil},
+				}},
+			}},
+			{Weight: 1, Step: updateRefer},
+		}},
+	}
+
+	return &workflow.Model{
+		Name: "clinic-referral",
+		Root: workflow.Sequence{
+			getRefer,
+			checkIn,
+			workflow.Loop{Body: visit, ContinueProb: 0.55, MaxIter: 4},
+			workflow.XOR{Branches: []workflow.Branch{
+				// The common path: reimbursement, possibly the anomalous
+				// post-reimbursement update, then completion.
+				{Weight: 8, Step: workflow.Sequence{
+					getReimburse,
+					workflow.XOR{Branches: []workflow.Branch{
+						{Weight: 1, Step: updateRefer}, // anomaly
+						{Weight: 15, Step: nil},
+					}},
+					completeRefer,
+				}},
+				// Termination without reimbursement (student's request).
+				{Weight: 2, Step: workflow.XOR{Branches: []workflow.Branch{
+					{Weight: 1, Step: completeRefer},
+					{Weight: 1, Step: nil},
+				}}},
+			}},
+		},
+	}
+}
+
+// receiptCount returns how many receiptN attributes the instance state
+// holds (receipts are numbered densely from 1 by PayTreatment).
+func receiptCount(state wlog.AttrMap) int {
+	n := 0
+	for state.Has(fmt.Sprintf("receipt%d", n+1)) {
+		n++
+	}
+	return n
+}
+
+// Generate enacts the referral model for the given number of instances with
+// round-robin interleaving (the shape of Figure 3) and returns the log.
+// A small fraction of instances is left incomplete, as in the figure.
+func Generate(instances int, seed int64) (*wlog.Log, error) {
+	return enact.Run(Model(), enact.Config{
+		Instances:        instances,
+		Seed:             seed,
+		Policy:           enact.PolicyRandom,
+		CompleteFraction: 0.9,
+	})
+}

@@ -1,0 +1,123 @@
+package clinic
+
+import (
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+)
+
+func TestModelValid(t *testing.T) {
+	if err := Model().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	acts := Model().Activities()
+	want := map[string]bool{
+		ActGetRefer: true, ActCheckIn: true, ActSeeDoctor: true,
+		ActPayTreatment: true, ActTakeTreatment: true, ActUpdateRefer: true,
+		ActGetReimburse: true, ActCompleteRefer: true,
+	}
+	if len(acts) != len(want) {
+		t.Fatalf("Activities = %v", acts)
+	}
+	for _, a := range acts {
+		if !want[a] {
+			t.Errorf("unexpected activity %q", a)
+		}
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	a, err := Generate(50, 7)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated log invalid: %v", err)
+	}
+	b, err := Generate(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("Generate not deterministic for equal seeds")
+	}
+}
+
+func TestGeneratedProcessShape(t *testing.T) {
+	l, err := Generate(200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+
+	// Every instance that checks in got a referral first, consecutively.
+	checkIns := e.Count(pattern.MustParse(ActCheckIn))
+	pairs := e.Count(pattern.MustParse(ActGetRefer + " . " + ActCheckIn))
+	if checkIns == 0 || pairs != checkIns {
+		t.Errorf("GetRefer.CheckIn pairs = %d, CheckIns = %d (must be equal)", pairs, checkIns)
+	}
+
+	// Reimbursement only after seeing a doctor.
+	orphanReimburse := 0
+	for _, wid := range ix.WIDs() {
+		reimb := ix.ActivitySeqs(wid, ActGetReimburse)
+		if len(reimb) == 0 {
+			continue
+		}
+		doc := ix.ActivitySeqs(wid, ActSeeDoctor)
+		if len(doc) == 0 || doc[0] > reimb[0] {
+			orphanReimburse++
+		}
+	}
+	if orphanReimburse > 0 {
+		t.Errorf("%d instances reimbursed before any SeeDoctor", orphanReimburse)
+	}
+
+	// The planted anomaly (UpdateRefer after GetReimburse) occurs but is
+	// rare: roughly 6% of reimbursed instances.
+	anomaly := e.Count(pattern.MustParse(ActGetReimburse + " -> " + ActUpdateRefer))
+	reimbursed := e.Count(pattern.MustParse(ActGetReimburse))
+	if anomaly == 0 {
+		t.Error("no planted anomalies found in 200 instances")
+	}
+	if anomaly*3 > reimbursed {
+		t.Errorf("anomaly rate too high: %d of %d", anomaly, reimbursed)
+	}
+
+	// The year attribute exists on every GetRefer record.
+	for _, wid := range ix.WIDs() {
+		for _, seq := range ix.ActivitySeqs(wid, ActGetRefer) {
+			rec, ok := ix.Record(wid, seq)
+			if !ok || !rec.Out.Has("year") {
+				t.Fatalf("GetRefer record without year: wid=%d seq=%d", wid, seq)
+			}
+		}
+	}
+}
+
+func TestGeneratedBalancesConsistent(t *testing.T) {
+	l, err := Generate(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eval.NewIndex(l)
+	for _, wid := range ix.WIDs() {
+		for _, seq := range ix.ActivitySeqs(wid, ActGetReimburse) {
+			rec, _ := ix.Record(wid, seq)
+			reimburse, ok := rec.Out.Get("reimburse").IntVal()
+			if !ok {
+				t.Fatalf("wid %d: reimburse not an int: %v", wid, rec.Out)
+			}
+			balanceIn, _ := rec.In.Get("balance").IntVal()
+			balanceOut, _ := rec.Out.Get("balance").IntVal()
+			if reimburse > balanceIn {
+				t.Errorf("wid %d: reimbursed %d above balance %d", wid, reimburse, balanceIn)
+			}
+			if balanceOut != balanceIn-reimburse {
+				t.Errorf("wid %d: balance %d -> %d with reimburse %d", wid, balanceIn, balanceOut, reimburse)
+			}
+		}
+	}
+}

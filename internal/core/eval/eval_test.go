@@ -1,0 +1,431 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/wlog"
+)
+
+// buildLog creates a log with one instance per activity slice, interleaved
+// round-robin. Instance i gets wid i+1.
+func buildLog(t *testing.T, instances ...[]string) *wlog.Log {
+	t.Helper()
+	var b wlog.Builder
+	wids := make([]uint64, len(instances))
+	for i := range instances {
+		wids[i] = b.Start()
+	}
+	for step := 0; ; step++ {
+		emitted := false
+		for i, acts := range instances {
+			if step < len(acts) {
+				if err := b.Emit(wids[i], acts[step], nil, nil); err != nil {
+					t.Fatal(err)
+				}
+				emitted = true
+			}
+		}
+		if !emitted {
+			break
+		}
+	}
+	return b.MustBuild()
+}
+
+// evalStr parses and evaluates a pattern over a log with both strategies,
+// checks they agree, and returns the merge result.
+func evalStr(t *testing.T, l *wlog.Log, query string) *incident.Set {
+	t.Helper()
+	p, err := pattern.Parse(query)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", query, err)
+	}
+	ix := NewIndex(l)
+	naive := New(ix, Options{Strategy: StrategyNaive}).Eval(p)
+	merge := New(ix, Options{Strategy: StrategyMerge}).Eval(p)
+	if !naive.Equal(merge) {
+		t.Fatalf("strategies disagree on %q:\nnaive: %s\nmerge: %s", query, naive, merge)
+	}
+	return merge
+}
+
+// wantSet asserts the incident set equals the expected incidents.
+func wantSet(t *testing.T, got *incident.Set, want ...incident.Incident) {
+	t.Helper()
+	expected := incident.NewSet(want...)
+	if !got.Equal(expected) {
+		t.Errorf("incident set = %s, want %s", got, expected)
+	}
+}
+
+// The single-instance workload A B A B (is-lsn 2..5 after START at 1).
+func abab(t *testing.T) *wlog.Log {
+	t.Helper()
+	return buildLog(t, []string{"A", "B", "A", "B"})
+}
+
+func TestAtomicPositive(t *testing.T) {
+	got := evalStr(t, abab(t), "A")
+	wantSet(t, got, incident.Singleton(1, 2), incident.Singleton(1, 4))
+}
+
+func TestAtomicNoMatch(t *testing.T) {
+	got := evalStr(t, abab(t), "Z")
+	wantSet(t, got)
+}
+
+func TestAtomicNegated(t *testing.T) {
+	// !A matches START(1), B(3), B(5) — negation includes START records.
+	got := evalStr(t, abab(t), "!A")
+	wantSet(t, got,
+		incident.Singleton(1, 1), incident.Singleton(1, 3), incident.Singleton(1, 5))
+}
+
+func TestConsecutive(t *testing.T) {
+	got := evalStr(t, abab(t), "A . B")
+	wantSet(t, got, incident.New(1, 2, 3), incident.New(1, 4, 5))
+}
+
+func TestConsecutiveReversedOrder(t *testing.T) {
+	got := evalStr(t, abab(t), "B . A")
+	wantSet(t, got, incident.New(1, 3, 4))
+}
+
+func TestSequential(t *testing.T) {
+	got := evalStr(t, abab(t), "A -> B")
+	wantSet(t, got,
+		incident.New(1, 2, 3), incident.New(1, 2, 5), incident.New(1, 4, 5))
+}
+
+func TestSequentialNotCommutative(t *testing.T) {
+	ab := evalStr(t, abab(t), "A -> B")
+	ba := evalStr(t, abab(t), "B -> A")
+	wantSet(t, ba, incident.New(1, 3, 4))
+	if ab.Equal(ba) {
+		t.Error("A -> B and B -> A should differ on ABAB")
+	}
+}
+
+func TestChoice(t *testing.T) {
+	got := evalStr(t, abab(t), "A | B")
+	wantSet(t, got,
+		incident.Singleton(1, 2), incident.Singleton(1, 3),
+		incident.Singleton(1, 4), incident.Singleton(1, 5))
+}
+
+func TestChoiceDeduplicates(t *testing.T) {
+	// A | A must yield each incident of A exactly once (Definition 4 makes
+	// incident sets true sets; Section 3.1 discusses this duplicate check).
+	got := evalStr(t, abab(t), "A | A")
+	wantSet(t, got, incident.Singleton(1, 2), incident.Singleton(1, 4))
+}
+
+func TestParallel(t *testing.T) {
+	got := evalStr(t, abab(t), "A & B")
+	wantSet(t, got,
+		incident.New(1, 2, 3), incident.New(1, 2, 5),
+		incident.New(1, 3, 4), incident.New(1, 4, 5))
+}
+
+func TestParallelIsCommutativeHere(t *testing.T) {
+	ab := evalStr(t, abab(t), "A & B")
+	ba := evalStr(t, abab(t), "B & A")
+	if !ab.Equal(ba) {
+		t.Errorf("A & B = %s but B & A = %s", ab, ba)
+	}
+}
+
+func TestParallelDisjointness(t *testing.T) {
+	// A & A on a log with two A records: only the pair of distinct records
+	// qualifies (an incident cannot reuse one record for both sides).
+	got := evalStr(t, abab(t), "A & A")
+	wantSet(t, got, incident.New(1, 2, 4))
+}
+
+func TestParallelSetSemantics(t *testing.T) {
+	// !X & !X over one instance of length 3 (START A B): every 2-subset of
+	// {1,2,3} arises from two (o1,o2) pairs; the set must contain each once.
+	l := buildLog(t, []string{"A", "B"})
+	got := evalStr(t, l, "!X & !X")
+	wantSet(t, got,
+		incident.New(1, 1, 2), incident.New(1, 1, 3), incident.New(1, 2, 3))
+}
+
+func TestInstancesDoNotMix(t *testing.T) {
+	// Instance 1 has A then nothing; instance 2 has B. A -> B must be empty:
+	// incidents never span workflow instances.
+	l := buildLog(t, []string{"A"}, []string{"B"})
+	got := evalStr(t, l, "A -> B")
+	wantSet(t, got)
+}
+
+func TestMultiInstance(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"}, []string{"A", "C", "B"})
+	got := evalStr(t, l, "A -> B")
+	wantSet(t, got, incident.New(1, 2, 3), incident.New(2, 2, 4))
+}
+
+func TestCompositeNesting(t *testing.T) {
+	// (A . B) -> (A . B) on ABAB: the two consecutive pairs in order.
+	got := evalStr(t, abab(t), "(A . B) -> (A . B)")
+	wantSet(t, got, incident.New(1, 2, 3, 4, 5))
+}
+
+func TestChoiceOfComposites(t *testing.T) {
+	got := evalStr(t, abab(t), "(A . B) | (B . A)")
+	wantSet(t, got,
+		incident.New(1, 2, 3), incident.New(1, 3, 4), incident.New(1, 4, 5))
+}
+
+func TestGuardedAtom(t *testing.T) {
+	var b wlog.Builder
+	w := b.Start()
+	if err := b.Emit(w, "GetRefer", nil, wlog.Attrs("balance", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(w, "GetRefer", nil, wlog.Attrs("balance", 6000)); err != nil {
+		t.Fatal(err)
+	}
+	l := b.MustBuild()
+	got := evalStr(t, l, "GetRefer[balance>5000]")
+	wantSet(t, got, incident.Singleton(1, 3))
+
+	all := evalStr(t, l, "GetRefer")
+	wantSet(t, all, incident.Singleton(1, 2), incident.Singleton(1, 3))
+}
+
+func TestGuardedNegatedAtom(t *testing.T) {
+	var b wlog.Builder
+	w := b.Start()
+	if err := b.Emit(w, "A", nil, wlog.Attrs("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(w, "B", nil, wlog.Attrs("x", 2)); err != nil {
+		t.Fatal(err)
+	}
+	l := b.MustBuild()
+	// Records that are not A and have x defined: only B.
+	got := evalStr(t, l, "!A[x?]")
+	wantSet(t, got, incident.Singleton(1, 3))
+}
+
+func TestExists(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"}, []string{"B", "A"})
+	ix := NewIndex(l)
+	e := New(ix, Options{})
+	if !e.Exists(pattern.MustParse("A -> B")) {
+		t.Error("Exists(A -> B) = false")
+	}
+	if e.Exists(pattern.MustParse("A . A")) {
+		t.Error("Exists(A . A) = true")
+	}
+}
+
+func TestCount(t *testing.T) {
+	ix := NewIndex(abab(t))
+	e := New(ix, Options{})
+	if got := e.Count(pattern.MustParse("A -> B")); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := e.Count(pattern.MustParse("Z")); got != 0 {
+		t.Errorf("Count(Z) = %d, want 0", got)
+	}
+}
+
+func TestEvalInstance(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"}, []string{"A", "B"})
+	ix := NewIndex(l)
+	e := New(ix, Options{})
+	got := e.EvalInstance(pattern.MustParse("A -> B"), 2)
+	wantSet(t, got, incident.New(2, 2, 3))
+}
+
+func TestLimitCapsResults(t *testing.T) {
+	// Pattern !Z & !Z on a longer instance explodes quadratically; Limit
+	// keeps the result bounded.
+	acts := make([]string, 30)
+	for i := range acts {
+		acts[i] = "A"
+	}
+	l := buildLog(t, acts)
+	ix := NewIndex(l)
+	for _, s := range []Strategy{StrategyNaive, StrategyMerge} {
+		e := New(ix, Options{Strategy: s, Limit: 10})
+		got := e.Eval(pattern.MustParse("!Z & !Z"))
+		if got.Len() == 0 || got.Len() > 10 {
+			t.Errorf("%v: Len = %d, want 1..10", s, got.Len())
+		}
+	}
+}
+
+func TestEvalSetConvenience(t *testing.T) {
+	got := EvalSet(NewIndex(abab(t)), pattern.MustParse("A . B"))
+	wantSet(t, got, incident.New(1, 2, 3), incident.New(1, 4, 5))
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyNaive.String() != "naive" || StrategyMerge.String() != "merge" {
+		t.Error("Strategy.String wrong")
+	}
+}
+
+// TestStrategiesAgreeRandomized cross-checks the naive (published) and
+// merge-based joins on randomized logs and patterns: the merge variants
+// must be a pure optimization.
+func TestStrategiesAgreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []string{"A", "B", "C"}
+	for trial := 0; trial < 150; trial++ {
+		// Random log: 1-3 instances, 3-10 activities each.
+		var b wlog.Builder
+		numInst := 1 + rng.Intn(3)
+		wids := make([]uint64, numInst)
+		for i := range wids {
+			wids[i] = b.Start()
+		}
+		for step := 0; step < 3+rng.Intn(8); step++ {
+			wid := wids[rng.Intn(numInst)]
+			if err := b.Emit(wid, alphabet[rng.Intn(len(alphabet))], nil, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l := b.MustBuild()
+		ix := NewIndex(l)
+		p := randomPattern(rng, 3, alphabet)
+		naive := New(ix, Options{Strategy: StrategyNaive}).Eval(p)
+		merge := New(ix, Options{Strategy: StrategyMerge}).Eval(p)
+		if !naive.Equal(merge) {
+			t.Fatalf("trial %d: strategies disagree on %s over\n%s\nnaive: %s\nmerge: %s",
+				trial, p, l, naive, merge)
+		}
+		// Exists must agree with Eval emptiness.
+		e := New(ix, Options{})
+		if e.Exists(p) != (naive.Len() > 0) {
+			t.Fatalf("trial %d: Exists disagrees with Eval on %s", trial, p)
+		}
+		if e.Count(p) != naive.Len() {
+			t.Fatalf("trial %d: Count disagrees with Eval on %s", trial, p)
+		}
+	}
+}
+
+func randomPattern(rng *rand.Rand, depth int, alphabet []string) pattern.Node {
+	if depth <= 1 || rng.Intn(3) == 0 {
+		name := alphabet[rng.Intn(len(alphabet))]
+		if rng.Intn(5) == 0 {
+			return pattern.NewNegAtom(name)
+		}
+		return pattern.NewAtom(name)
+	}
+	ops := []pattern.Op{
+		pattern.OpConsecutive, pattern.OpSequential,
+		pattern.OpChoice, pattern.OpParallel,
+	}
+	return &pattern.Binary{
+		Op:    ops[rng.Intn(len(ops))],
+		Left:  randomPattern(rng, depth-1, alphabet),
+		Right: randomPattern(rng, depth-1, alphabet),
+	}
+}
+
+// TestEvalMatchesBruteForce checks the evaluator against a brute-force
+// reference that enumerates record subsets per Definition 4 directly.
+func TestEvalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	alphabet := []string{"A", "B"}
+	for trial := 0; trial < 60; trial++ {
+		acts := make([]string, 2+rng.Intn(4)) // instance length ≤ 7 with START
+		for i := range acts {
+			acts[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		l := buildLog(t, acts)
+		ix := NewIndex(l)
+		p := randomPattern(rng, 3, alphabet)
+		got := New(ix, Options{}).Eval(p)
+		want := bruteForce(ix, p, 1)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: pattern %s over %v\n got %s\nwant %s",
+				trial, p, acts, got, want)
+		}
+	}
+}
+
+// bruteForce computes incL(p) for one instance straight from Definition 4.
+func bruteForce(ix *Index, p pattern.Node, wid uint64) *incident.Set {
+	switch p := p.(type) {
+	case *pattern.Atom:
+		var out []incident.Incident
+		for _, r := range ix.Instance(wid) {
+			match := r.Activity == p.Activity
+			if p.Negated {
+				match = !match
+			}
+			if match {
+				out = append(out, incident.Singleton(wid, r.Seq))
+			}
+		}
+		return incident.NewSet(out...)
+	case *pattern.Binary:
+		left := bruteForce(ix, p.Left, wid).Incidents()
+		right := bruteForce(ix, p.Right, wid).Incidents()
+		var out []incident.Incident
+		switch p.Op {
+		case pattern.OpConsecutive:
+			for _, o1 := range left {
+				for _, o2 := range right {
+					if o1.Last()+1 == o2.First() {
+						out = append(out, o1.Concat(o2))
+					}
+				}
+			}
+		case pattern.OpSequential:
+			for _, o1 := range left {
+				for _, o2 := range right {
+					if o1.Last() < o2.First() {
+						out = append(out, o1.Concat(o2))
+					}
+				}
+			}
+		case pattern.OpChoice:
+			out = append(out, left...)
+			out = append(out, right...)
+		case pattern.OpParallel:
+			for _, o1 := range left {
+				for _, o2 := range right {
+					if u, ok := o1.Union(o2); ok {
+						out = append(out, u)
+					}
+				}
+			}
+		}
+		return incident.NewSet(out...)
+	default:
+		panic("bruteForce: unknown node")
+	}
+}
+
+// TestMemoizedSubpatterns: repeated sub-patterns evaluate identically with
+// and without the merge strategy's memo, and the memo actually dedupes work
+// (observable through a guarded-atom evaluation counter via the index —
+// here checked behaviorally: deep duplication stays fast and correct).
+func TestMemoizedSubpatterns(t *testing.T) {
+	l := buildLog(t, []string{"A", "B", "A", "B", "A", "B"})
+	ix := NewIndex(l)
+	// (A -> B) duplicated eight times under choice: one evaluation suffices.
+	sub := "(A -> B)"
+	q := sub
+	for i := 0; i < 7; i++ {
+		q += " | " + sub
+	}
+	p := pattern.MustParse(q)
+	merge := New(ix, Options{Strategy: StrategyMerge}).Eval(p)
+	naive := New(ix, Options{Strategy: StrategyNaive}).Eval(p)
+	single := New(ix, Options{}).Eval(pattern.MustParse(sub))
+	if !merge.Equal(naive) || !merge.Equal(single) {
+		t.Errorf("memoized choice-of-duplicates wrong:\nmerge %s\nnaive %s\nsingle %s",
+			merge, naive, single)
+	}
+}

@@ -1,0 +1,148 @@
+// Package eval implements incident-pattern query evaluation: the operator
+// algorithms of Algorithm 1, the per-instance record index and post-order
+// incident-tree evaluation of Algorithms 2–3, plus merge-based variants of
+// the operator joins that exploit the sorted order the paper notes but never
+// uses (Section 3.1).
+package eval
+
+import (
+	"sort"
+
+	"wlq/internal/wlog"
+)
+
+// Index is the access structure Algorithm 2 calls LogRecordsDict: per
+// workflow instance, the records in is-lsn order, plus a per-(instance,
+// activity) list of is-lsn values so atomic patterns are answered without
+// scanning (the "index structure for each workflow id and activity" of
+// Section 3.2). It also keeps global activity frequencies for the
+// cost-based optimizer.
+//
+// An Index is safe for concurrent readers; Append must not run concurrently
+// with reads (internal/stream serializes ingestion).
+type Index struct {
+	wids     []uint64
+	inst     map[uint64][]wlog.Record
+	actSeqs  map[uint64]map[string][]uint64
+	actCount map[string]int
+	total    int
+}
+
+// NewEmptyIndex creates an index with no records, for incremental use
+// via Append.
+func NewEmptyIndex() *Index {
+	return &Index{
+		inst:     make(map[uint64][]wlog.Record),
+		actSeqs:  make(map[uint64]map[string][]uint64),
+		actCount: make(map[string]int),
+	}
+}
+
+// NewIndex builds the index in one pass over the log.
+func NewIndex(l *wlog.Log) *Index {
+	ix := NewEmptyIndex()
+	for i := 0; i < l.Len(); i++ {
+		r := l.Record(i)
+		ix.append(r)
+	}
+	ix.sortAll()
+	return ix
+}
+
+// append adds a record without maintaining sort invariants (bulk load).
+func (ix *Index) append(r wlog.Record) {
+	if len(ix.inst[r.WID]) == 0 {
+		ix.wids = append(ix.wids, r.WID)
+	}
+	ix.inst[r.WID] = append(ix.inst[r.WID], r)
+	byAct := ix.actSeqs[r.WID]
+	if byAct == nil {
+		byAct = make(map[string][]uint64)
+		ix.actSeqs[r.WID] = byAct
+	}
+	byAct[r.Activity] = append(byAct[r.Activity], r.Seq)
+	ix.actCount[r.Activity]++
+	ix.total++
+}
+
+// sortAll establishes the order invariants after bulk loading.
+func (ix *Index) sortAll() {
+	sort.Slice(ix.wids, func(i, j int) bool { return ix.wids[i] < ix.wids[j] })
+	for _, recs := range ix.inst {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	}
+	for _, byAct := range ix.actSeqs {
+		for _, seqs := range byAct {
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		}
+	}
+}
+
+// Append adds one record incrementally, maintaining all order invariants.
+// Records of one instance must arrive in ascending is-lsn order (the log
+// discipline of Definition 2); instance ids may arrive in any order.
+func (ix *Index) Append(r wlog.Record) {
+	ix.append(r)
+	// A new wid may break the sorted wid list; restore by insertion (logs
+	// usually open instances in ascending wid order, making this O(1)).
+	for i := len(ix.wids) - 1; i > 0 && ix.wids[i-1] > ix.wids[i]; i-- {
+		ix.wids[i-1], ix.wids[i] = ix.wids[i], ix.wids[i-1]
+	}
+}
+
+// WIDs returns the workflow instance ids present, in ascending order.
+// Callers must not modify the returned slice.
+func (ix *Index) WIDs() []uint64 { return ix.wids }
+
+// InstanceLen returns the number of records of the instance.
+func (ix *Index) InstanceLen(wid uint64) int { return len(ix.inst[wid]) }
+
+// Record returns the record of the instance with the given is-lsn.
+// ok is false when the instance or sequence number is unknown.
+func (ix *Index) Record(wid, seq uint64) (wlog.Record, bool) {
+	recs := ix.inst[wid]
+	if seq == 0 || seq > uint64(len(recs)) {
+		return wlog.Record{}, false
+	}
+	// Valid logs have dense per-instance is-lsn starting at 1.
+	if r := recs[seq-1]; r.Seq == seq {
+		return r, true
+	}
+	// Fallback for indexes built over unchecked logs.
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].Seq >= seq })
+	if i < len(recs) && recs[i].Seq == seq {
+		return recs[i], true
+	}
+	return wlog.Record{}, false
+}
+
+// Instance returns the records of the instance in is-lsn order. Callers
+// must not modify the returned slice.
+func (ix *Index) Instance(wid uint64) []wlog.Record { return ix.inst[wid] }
+
+// ActivitySeqs returns the is-lsn values (ascending) of the instance's
+// records whose activity is act. Callers must not modify the result.
+func (ix *Index) ActivitySeqs(wid uint64, act string) []uint64 {
+	byAct := ix.actSeqs[wid]
+	if byAct == nil {
+		return nil
+	}
+	return byAct[act]
+}
+
+// ActivityCount returns the total number of records (across all instances)
+// carrying the activity name. Used by the optimizer's cost model.
+func (ix *Index) ActivityCount(act string) int { return ix.actCount[act] }
+
+// TotalRecords returns m = |L|.
+func (ix *Index) TotalRecords() int { return ix.total }
+
+// Activities returns the distinct activity names, sorted.
+func (ix *Index) Activities() []string {
+	names := make([]string, 0, len(ix.actCount))
+	for name := range ix.actCount {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/wlog"
+)
+
+func TestVerifyBasics(t *testing.T) {
+	l := buildLog(t, []string{"A", "B", "A", "B"}) // seqs: START=1 A=2 B=3 A=4 B=5
+	e := New(NewIndex(l), Options{})
+
+	tests := []struct {
+		query string
+		inc   incident.Incident
+		want  bool
+	}{
+		{"A", incident.New(1, 2), true},
+		{"A", incident.New(1, 3), false},
+		{"!A", incident.New(1, 3), true},
+		{"!A", incident.New(1, 2), false},
+		{"A", incident.New(1, 2, 4), false}, // atoms are singletons
+		{"A . B", incident.New(1, 2, 3), true},
+		{"A . B", incident.New(1, 2, 5), false}, // gap
+		{"A -> B", incident.New(1, 2, 5), true},
+		{"B -> A", incident.New(1, 2, 3), false}, // wrong order
+		{"A | B", incident.New(1, 3), true},
+		{"A | B", incident.New(1, 2, 3), false}, // choice picks one side
+		{"A & B", incident.New(1, 3, 4), true},  // B then A: shuffle allowed
+		{"A & A", incident.New(1, 2, 4), true},
+		{"A & A", incident.New(1, 2, 3), false}, // one side is B
+		{"A -> (B & A)", incident.New(1, 2, 3, 4), true},
+		{"(A . B) & (A . B)", incident.New(1, 2, 3, 4, 5), true},
+		{"A", incident.New(99, 1), false}, // unknown instance
+	}
+	for _, tt := range tests {
+		t.Run(tt.query+"/"+tt.inc.String(), func(t *testing.T) {
+			p := pattern.MustParse(tt.query)
+			if got := e.Verify(p, tt.inc); got != tt.want {
+				t.Errorf("Verify(%s, %s) = %v, want %v", tt.query, tt.inc, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVerifyChoiceSizes(t *testing.T) {
+	// (A . B) | C has incidents of sizes 2 and 1; a parallel above it must
+	// consider both left-operand sizes.
+	l := buildLog(t, []string{"A", "B", "C", "D"})
+	e := New(NewIndex(l), Options{})
+	p := pattern.MustParse("((A . B) | C) & D")
+	if !e.Verify(p, incident.New(1, 2, 3, 5)) { // {A,B} ∪ {D}
+		t.Error("size-2 left branch not verified")
+	}
+	if !e.Verify(p, incident.New(1, 4, 5)) { // {C} ∪ {D}
+		t.Error("size-1 left branch not verified")
+	}
+	if e.Verify(p, incident.New(1, 2, 5)) { // {A} alone isn't an incident of (A.B)|C
+		t.Error("bogus split accepted")
+	}
+}
+
+func TestPossibleSizes(t *testing.T) {
+	tests := []struct {
+		query string
+		want  []int
+	}{
+		{"A", []int{1}},
+		{"A -> B", []int{2}},
+		{"A | B", []int{1}},
+		{"(A -> B) | C", []int{1, 2}},
+		{"((A -> B) | C) & D", []int{2, 3}},
+		{"((A -> B) | C) . ((A -> B) | C)", []int{2, 3, 4}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.query, func(t *testing.T) {
+			got := possibleSizes(pattern.MustParse(tt.query))
+			if len(got) != len(tt.want) {
+				t.Fatalf("possibleSizes = %v, want %v", got, tt.want)
+			}
+			for _, s := range tt.want {
+				if _, ok := got[s]; !ok {
+					t.Errorf("missing size %d in %v", s, got)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifySoundnessOfEvaluator: everything the evaluator returns must
+// verify against Definition 4, and mutations of returned incidents must
+// (almost always) fail verification.
+func TestVerifySoundnessOfEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	alphabet := []string{"A", "B", "C"}
+	for trial := 0; trial < 80; trial++ {
+		var b wlog.Builder
+		numInst := 1 + rng.Intn(3)
+		wids := make([]uint64, numInst)
+		for i := range wids {
+			wids[i] = b.Start()
+		}
+		for step := 0; step < 4+rng.Intn(8); step++ {
+			wid := wids[rng.Intn(numInst)]
+			if err := b.Emit(wid, alphabet[rng.Intn(len(alphabet))], nil, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l := b.MustBuild()
+		ix := NewIndex(l)
+		e := New(ix, Options{})
+		p := randomPattern(rng, 3, alphabet)
+		set := e.Eval(p)
+		for _, inc := range set.Incidents() {
+			if !e.Verify(p, inc) {
+				t.Fatalf("trial %d: evaluator returned %s for %s, which does not verify",
+					trial, inc, p)
+			}
+			// A record set NOT in incL(p) must not verify: shift the
+			// incident's wid to a different instance (if any) where the
+			// same seqs may not exist or not match.
+			otherWID := inc.WID()%uint64(numInst) + 1
+			if otherWID != inc.WID() {
+				moved := incident.New(otherWID, inc.Seqs()...)
+				if e.Verify(p, moved) && !set.Contains(moved) {
+					t.Fatalf("trial %d: %s verifies for %s but is not in incL",
+						trial, moved, p)
+				}
+			}
+		}
+	}
+}

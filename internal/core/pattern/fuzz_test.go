@@ -1,0 +1,84 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics, and that every accepted input
+// round-trips: Parse(p.String()) must reproduce the same AST. Run the seed
+// corpus with `go test`; explore with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"A",
+		"!A",
+		"¬A",
+		"A -> B",
+		"A.B|C&D",
+		"A ⊙ B ≺ C ⊗ D ⊕ E",
+		`"quoted name" -> X`,
+		"GetRefer[balance>5000][in.state=active] -> Pay",
+		"((((A))))",
+		"A ->",
+		"-> A",
+		"A | | B",
+		"(",
+		")",
+		"",
+		"   ",
+		`A["x]y"=1]`,
+		"!",
+		"A[",
+		`"unterminated`,
+		"A - B",
+		"𝛼 -> B", // non-ASCII identifier start: must error, not panic
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			if !errors.Is(err, ErrSyntax) {
+				t.Fatalf("non-syntax error %v for %q", err, input)
+			}
+			return
+		}
+		printed := p.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not re-parse: %v", printed, input, err)
+		}
+		if !Equal(p, back) {
+			t.Fatalf("round trip changed AST: %q -> %q -> %q", input, printed, back.String())
+		}
+		// The glyph rendering must also round-trip.
+		glyphs := Pretty(p)
+		back2, err := Parse(glyphs)
+		if err != nil {
+			t.Fatalf("glyph form %q does not re-parse: %v", glyphs, err)
+		}
+		if !Equal(p, back2) {
+			t.Fatalf("glyph round trip changed AST: %q -> %q", glyphs, back2.String())
+		}
+	})
+}
+
+// FuzzPostfix checks FromPostfix never panics and inverts Postfix.
+func FuzzPostfix(f *testing.F) {
+	f.Add("A -> B & C")
+	f.Add("A . B | !C")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		back, err := FromPostfix(Postfix(p))
+		if err != nil {
+			t.Fatalf("FromPostfix(Postfix(%q)): %v", input, err)
+		}
+		if !Equal(p, back) {
+			t.Fatalf("postfix round trip changed AST for %q", input)
+		}
+	})
+}

@@ -1,0 +1,321 @@
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"wlq/internal/predicate"
+)
+
+// ErrSyntax is wrapped by every parse failure.
+var ErrSyntax = errors.New("pattern: syntax error")
+
+// SyntaxError reports a parse failure with its byte offset in the query.
+type SyntaxError struct {
+	Pos int    // byte offset of the offending token
+	Msg string // human-readable description
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pattern: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Unwrap lets errors.Is match ErrSyntax.
+func (e *SyntaxError) Unwrap() error { return ErrSyntax }
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokAtom tokenKind = iota + 1
+	tokOp
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	pos  int
+	atom *Atom // when kind == tokAtom
+	op   Op    // when kind == tokOp
+}
+
+// lexer tokenizes the textual pattern syntax.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.input) {
+		switch lx.input[lx.pos] {
+		case ' ', '\t', '\n', '\r':
+			lx.pos++
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token. Operators are accepted in both ASCII and the
+// paper's glyph spellings.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	start := lx.pos
+	if lx.pos >= len(lx.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	r, size := utf8.DecodeRuneInString(lx.input[lx.pos:])
+	switch r {
+	case '(':
+		lx.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		lx.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '.', '⊙':
+		lx.pos += size
+		return token{kind: tokOp, pos: start, op: OpConsecutive}, nil
+	case '≺':
+		lx.pos += size
+		return token{kind: tokOp, pos: start, op: OpSequential}, nil
+	case '|', '⊗':
+		lx.pos += size
+		return token{kind: tokOp, pos: start, op: OpChoice}, nil
+	case '&', '⊕':
+		lx.pos += size
+		return token{kind: tokOp, pos: start, op: OpParallel}, nil
+	case '-':
+		if strings.HasPrefix(lx.input[lx.pos:], "->") {
+			lx.pos += 2
+			return token{kind: tokOp, pos: start, op: OpSequential}, nil
+		}
+		return token{}, lx.errf(start, "unexpected %q (did you mean \"->\"?)", "-")
+	}
+	atom, err := lx.lexAtom()
+	if err != nil {
+		return token{}, err
+	}
+	return token{kind: tokAtom, pos: start, atom: atom}, nil
+}
+
+// lexAtom scans [!] name [guard]... where name is an identifier or a quoted
+// string and each guard is a bracketed condition.
+func (lx *lexer) lexAtom() (*Atom, error) {
+	start := lx.pos
+	atom := &Atom{}
+	if lx.input[lx.pos] == '!' || strings.HasPrefix(lx.input[lx.pos:], "¬") {
+		atom.Negated = true
+		_, size := utf8.DecodeRuneInString(lx.input[lx.pos:])
+		lx.pos += size
+		lx.skipSpace()
+		if lx.pos >= len(lx.input) {
+			return nil, lx.errf(start, "negation with no activity name")
+		}
+	}
+	switch c := lx.input[lx.pos]; {
+	case c == '"':
+		name, err := lx.lexQuoted()
+		if err != nil {
+			return nil, err
+		}
+		atom.Activity = name
+	case isIdentStart(rune(c)):
+		atom.Activity = lx.lexIdent()
+	default:
+		return nil, lx.errf(lx.pos, "unexpected character %q", string(c))
+	}
+	for lx.pos < len(lx.input) && lx.input[lx.pos] == '[' {
+		guard, err := lx.lexGuard()
+		if err != nil {
+			return nil, err
+		}
+		atom.Guards = append(atom.Guards, guard)
+	}
+	return atom, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIdentRune(r rune) bool {
+	return isIdentStart(r) || (r >= '0' && r <= '9')
+}
+
+func (lx *lexer) lexIdent() string {
+	start := lx.pos
+	for lx.pos < len(lx.input) && isIdentRune(rune(lx.input[lx.pos])) {
+		lx.pos++
+	}
+	return lx.input[start:lx.pos]
+}
+
+func (lx *lexer) lexQuoted() (string, error) {
+	start := lx.pos
+	i := lx.pos + 1
+	for i < len(lx.input) {
+		switch lx.input[i] {
+		case '\\':
+			i += 2
+			continue
+		case '"':
+			raw := lx.input[lx.pos : i+1]
+			name, err := strconv.Unquote(raw)
+			if err != nil {
+				return "", lx.errf(start, "malformed quoted activity name %s", raw)
+			}
+			lx.pos = i + 1
+			return name, nil
+		}
+		i++
+	}
+	return "", lx.errf(start, "unterminated quoted activity name")
+}
+
+func (lx *lexer) lexGuard() (predicate.Guard, error) {
+	start := lx.pos // at '['
+	end := -1
+	inQuote := false
+	for i := lx.pos + 1; i < len(lx.input); i++ {
+		switch c := lx.input[i]; {
+		case c == '\\' && inQuote:
+			i++
+		case c == '"':
+			inQuote = !inQuote
+		case c == ']' && !inQuote:
+			end = i
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return predicate.Guard{}, lx.errf(start, "unterminated guard (missing ']')")
+	}
+	body := strings.TrimSpace(lx.input[lx.pos+1 : end])
+	guard, err := predicate.Parse(body)
+	if err != nil {
+		return predicate.Guard{}, lx.errf(start, "%v", err)
+	}
+	lx.pos = end + 1
+	return guard, nil
+}
+
+// Parse converts a textual incident pattern into its AST using Dijkstra's
+// shunting-yard algorithm, the construction named by Section 3.2 of the
+// paper (the infix query is converted to postfix order and the incident
+// tree — our Binary/Atom AST — is assembled from the postfix stream).
+func Parse(input string) (Node, error) {
+	lx := &lexer{input: input}
+
+	var output []Node    // operand stack (holds assembled subtrees)
+	var ops []token      // operator/paren stack
+	lastOperand := false // previous token completed an operand
+
+	apply := func(t token) error {
+		if len(output) < 2 {
+			return &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("operator %q needs two operands", t.op.String())}
+		}
+		right := output[len(output)-1]
+		left := output[len(output)-2]
+		output = output[:len(output)-2]
+		output = append(output, &Binary{Op: t.op, Left: left, Right: right})
+		return nil
+	}
+
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokAtom:
+			if lastOperand {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "expected an operator before this activity"}
+			}
+			output = append(output, t.atom)
+			lastOperand = true
+		case tokOp:
+			if !lastOperand {
+				return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("operator %q with no left operand", t.op.String())}
+			}
+			for len(ops) > 0 {
+				top := ops[len(ops)-1]
+				if top.kind != tokOp || top.op.precedence() < t.op.precedence() {
+					break
+				}
+				ops = ops[:len(ops)-1]
+				if err := apply(top); err != nil {
+					return nil, err
+				}
+			}
+			ops = append(ops, t)
+			lastOperand = false
+		case tokLParen:
+			if lastOperand {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "expected an operator before '('"}
+			}
+			ops = append(ops, t)
+		case tokRParen:
+			if !lastOperand {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "')' with no operand before it"}
+			}
+			matched := false
+			for len(ops) > 0 {
+				top := ops[len(ops)-1]
+				ops = ops[:len(ops)-1]
+				if top.kind == tokLParen {
+					matched = true
+					break
+				}
+				if err := apply(top); err != nil {
+					return nil, err
+				}
+			}
+			if !matched {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "unmatched ')'"}
+			}
+		case tokEOF:
+			if !lastOperand && (len(output) > 0 || len(ops) > 0) {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "query ends with a dangling operator"}
+			}
+			for len(ops) > 0 {
+				top := ops[len(ops)-1]
+				ops = ops[:len(ops)-1]
+				if top.kind == tokLParen {
+					return nil, &SyntaxError{Pos: top.pos, Msg: "unmatched '('"}
+				}
+				if err := apply(top); err != nil {
+					return nil, err
+				}
+			}
+			switch len(output) {
+			case 0:
+				return nil, &SyntaxError{Pos: 0, Msg: "empty pattern"}
+			case 1:
+				return output[0], nil
+			default:
+				return nil, &SyntaxError{Pos: t.pos, Msg: "patterns not joined by an operator"}
+			}
+		}
+	}
+}
+
+// MustParse is Parse, panicking on error. For fixtures and examples.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+package pattern
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+		want  Node
+	}{
+		{"atom", "A", NewAtom("A")},
+		{"negated", "!A", NewNegAtom("A")},
+		{"negated with space", "! A", NewNegAtom("A")},
+		{"unicode negation", "¬A", NewNegAtom("A")},
+		{"quoted name", `"Get Refer"`, NewAtom("Get Refer")},
+		{"consecutive", "A . B", Consecutive(NewAtom("A"), NewAtom("B"))},
+		{"sequential", "A -> B", Sequential(NewAtom("A"), NewAtom("B"))},
+		{"choice", "A | B", Choice(NewAtom("A"), NewAtom("B"))},
+		{"parallel", "A & B", Parallel(NewAtom("A"), NewAtom("B"))},
+		{"no spaces", "A->B", Sequential(NewAtom("A"), NewAtom("B"))},
+		{
+			"left associative",
+			"A -> B -> C",
+			Sequential(Sequential(NewAtom("A"), NewAtom("B")), NewAtom("C")),
+		},
+		{
+			"parens",
+			"A -> (B -> C)",
+			Sequential(NewAtom("A"), Sequential(NewAtom("B"), NewAtom("C"))),
+		},
+		{
+			"precedence: sequential over parallel",
+			"A -> B & C",
+			Parallel(Sequential(NewAtom("A"), NewAtom("B")), NewAtom("C")),
+		},
+		{
+			"precedence: parallel over choice",
+			"A & B | C & D",
+			Choice(Parallel(NewAtom("A"), NewAtom("B")), Parallel(NewAtom("C"), NewAtom("D"))),
+		},
+		{
+			"consecutive and sequential share precedence",
+			"A . B -> C",
+			Sequential(Consecutive(NewAtom("A"), NewAtom("B")), NewAtom("C")),
+		},
+		{
+			"glyph operators",
+			"A ⊙ B ≺ C ⊗ D ⊕ E",
+			Choice(
+				Sequential(Consecutive(NewAtom("A"), NewAtom("B")), NewAtom("C")),
+				Parallel(NewAtom("D"), NewAtom("E")),
+			),
+		},
+		{
+			"paper example 5",
+			"SeeDoctor -> (UpdateRefer -> GetReimburse)",
+			Sequential(NewAtom("SeeDoctor"),
+				Sequential(NewAtom("UpdateRefer"), NewAtom("GetReimburse"))),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Parse(tt.input)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.input, err)
+			}
+			if !Equal(got, tt.want) {
+				t.Errorf("Parse(%q) = %s, want %s", tt.input, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseGuards(t *testing.T) {
+	n, err := Parse(`GetRefer[balance>5000][hospital="Public Hospital"] -> CheckIn`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := n.(*Binary)
+	if !ok || b.Op != OpSequential {
+		t.Fatalf("unexpected shape %s", n)
+	}
+	atom := b.Left.(*Atom)
+	if atom.Activity != "GetRefer" || len(atom.Guards) != 2 {
+		t.Fatalf("atom = %s, guards = %v", atom, atom.Guards)
+	}
+	if atom.Guards[0].Attr != "balance" || atom.Guards[1].Attr != "hospital" {
+		t.Errorf("guards parsed wrong: %v", atom.Guards)
+	}
+	// Guard value with ']' inside quotes must not end the bracket early.
+	n2, err := Parse(`A[x="a]b"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := n2.(*Atom).Guards[0]
+	if s, _ := g.Value.Str(); s != "a]b" {
+		t.Errorf("quoted ] mishandled: %v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"spaces only", "   "},
+		{"dangling operator", "A ->"},
+		{"leading operator", "-> A"},
+		{"double operator", "A -> -> B"},
+		{"adjacent atoms", "A B"},
+		{"adjacent paren group", "A (B)"},
+		{"unmatched open", "(A -> B"},
+		{"unmatched close", "A -> B)"},
+		{"empty parens", "()"},
+		{"rparen after operator", "(A ->)"},
+		{"bare negation", "!"},
+		{"bad dash", "A - B"},
+		{"unterminated quote", `"A`},
+		{"bad quote escape", `"A\q"`},
+		{"unterminated guard", "A[x>5"},
+		{"malformed guard", "A[>5]"},
+		{"stray character", "A $ B"},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.input)
+			if err == nil {
+				t.Fatalf("Parse(%q): want error", tt.input)
+			}
+			if !errors.Is(err, ErrSyntax) {
+				t.Errorf("error %v does not wrap ErrSyntax", err)
+			}
+			var serr *SyntaxError
+			if !errors.As(err, &serr) {
+				t.Errorf("error %v is not a *SyntaxError", err)
+			} else if !strings.Contains(serr.Error(), "offset") {
+				t.Errorf("error text lacks position: %v", serr)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input should panic")
+		}
+	}()
+	MustParse("A ->")
+}
+
+// TestParsePrintRoundTrip checks Parse(p.String()) == p on hand-picked and
+// randomly generated patterns.
+func TestParsePrintRoundTrip(t *testing.T) {
+	fixed := []Node{
+		NewAtom("A"),
+		NewNegAtom("Get"),
+		NewAtom("odd name here"),
+		MustParse("A -> B . C & (D | !E)"),
+		MustParse(`X[balance>=100] . "Y Z"[in.state=active]`),
+	}
+	for _, p := range fixed {
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if !Equal(p, back) {
+			t.Errorf("round trip: %s != %s", p, back)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPattern(rng, 4)
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("trial %d: re-Parse(%q): %v", trial, p.String(), err)
+		}
+		if !Equal(p, back) {
+			t.Errorf("trial %d: round trip %q parsed as %q", trial, p, back)
+		}
+		// The glyph form must parse back identically too.
+		back2, err := Parse(Pretty(p))
+		if err != nil {
+			t.Fatalf("trial %d: re-Parse(pretty %q): %v", trial, Pretty(p), err)
+		}
+		if !Equal(p, back2) {
+			t.Errorf("trial %d: pretty round trip %q parsed as %q", trial, Pretty(p), back2)
+		}
+	}
+}
+
+// randomPattern builds a random pattern of the given maximum depth.
+func randomPattern(rng *rand.Rand, depth int) Node {
+	if depth <= 1 || rng.Intn(3) == 0 {
+		name := string(rune('A' + rng.Intn(6)))
+		if rng.Intn(4) == 0 {
+			return NewNegAtom(name)
+		}
+		return NewAtom(name)
+	}
+	ops := []Op{OpConsecutive, OpSequential, OpChoice, OpParallel}
+	return &Binary{
+		Op:    ops[rng.Intn(len(ops))],
+		Left:  randomPattern(rng, depth-1),
+		Right: randomPattern(rng, depth-1),
+	}
+}
+
+func TestPostfixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPattern(rng, 4)
+		back, err := FromPostfix(Postfix(p))
+		if err != nil {
+			t.Fatalf("trial %d: FromPostfix: %v", trial, err)
+		}
+		if !Equal(p, back) {
+			t.Errorf("trial %d: postfix round trip %s != %s", trial, p, back)
+		}
+	}
+}
+
+func TestPostfixOrder(t *testing.T) {
+	p := MustParse("SeeDoctor -> (UpdateRefer -> GetReimburse)")
+	got := strings.Join(Postfix(p), " ")
+	want := "SeeDoctor UpdateRefer GetReimburse -> ->"
+	if got != want {
+		t.Errorf("Postfix = %q, want %q", got, want)
+	}
+}
+
+func TestFromPostfixErrors(t *testing.T) {
+	bad := [][]string{
+		{"A", "B"},          // unreduced operands
+		{"->"},              // operator without operands
+		{"A", "->"},         // operator with one operand
+		{"A", "B", "-> ->"}, // malformed token
+		{},                  // empty stream
+	}
+	for _, toks := range bad {
+		if _, err := FromPostfix(toks); err == nil {
+			t.Errorf("FromPostfix(%v): want error", toks)
+		}
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	p := MustParse("SeeDoctor -> (UpdateRefer -> GetReimburse)")
+	got := TreeString(p)
+	wantLines := []string{
+		"(->) sequential",
+		"├── SeeDoctor",
+		"└── (->) sequential",
+		"    ├── UpdateRefer",
+		"    └── GetReimburse",
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(got, line) {
+			t.Errorf("TreeString missing %q:\n%s", line, got)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package pattern
+
+import (
+	"strings"
+)
+
+// TreeString renders the pattern's incident tree (Definition 6) as ASCII
+// art, operator nodes first, mirroring Figure 4 of the paper. Example for
+// SeeDoctor -> (UpdateRefer -> GetReimburse):
+//
+//	(->) sequential
+//	├── SeeDoctor
+//	└── (->) sequential
+//	    ├── UpdateRefer
+//	    └── GetReimburse
+func TreeString(n Node) string {
+	var sb strings.Builder
+	writeTree(&sb, n, "", "", "")
+	return sb.String()
+}
+
+func writeTree(sb *strings.Builder, n Node, prefix, selfMarker, childPrefix string) {
+	sb.WriteString(prefix)
+	sb.WriteString(selfMarker)
+	switch n := n.(type) {
+	case *Atom:
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+	case *Binary:
+		sb.WriteString("(" + n.Op.String() + ") " + n.Op.Name())
+		sb.WriteByte('\n')
+		writeTree(sb, n.Left, prefix+childPrefix, "├── ", "│   ")
+		writeTree(sb, n.Right, prefix+childPrefix, "└── ", "    ")
+	}
+}
+
+// Postfix returns the pattern in postfix (Reverse Polish) order, the
+// intermediate form of Algorithm 3's shunting-yard construction. Atoms
+// appear in their printed form; operators in ASCII.
+func Postfix(n Node) []string {
+	var out []string
+	var rec func(Node)
+	rec = func(n Node) {
+		switch n := n.(type) {
+		case *Atom:
+			out = append(out, n.String())
+		case *Binary:
+			rec(n.Left)
+			rec(n.Right)
+			out = append(out, n.Op.String())
+		}
+	}
+	rec(n)
+	return out
+}
+
+// FromPostfix rebuilds a pattern from a postfix token stream as produced by
+// Postfix. It is the inverse used by tests to validate the shunting-yard
+// construction end to end.
+func FromPostfix(tokens []string) (Node, error) {
+	var stack []Node
+	for i, tok := range tokens {
+		var op Op
+		switch tok {
+		case ".":
+			op = OpConsecutive
+		case "->":
+			op = OpSequential
+		case "|":
+			op = OpChoice
+		case "&":
+			op = OpParallel
+		default:
+			atom, err := parseAtomToken(tok, i)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, atom)
+			continue
+		}
+		if len(stack) < 2 {
+			return nil, &SyntaxError{Pos: i, Msg: "postfix operator with fewer than two operands"}
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		stack = append(stack, &Binary{Op: op, Left: l, Right: r})
+	}
+	if len(stack) != 1 {
+		return nil, &SyntaxError{Pos: len(tokens), Msg: "postfix stream does not reduce to one pattern"}
+	}
+	return stack[0], nil
+}
+
+func parseAtomToken(tok string, pos int) (*Atom, error) {
+	lx := &lexer{input: tok}
+	atom, err := lx.lexAtom()
+	if err != nil {
+		return nil, &SyntaxError{Pos: pos, Msg: "malformed postfix atom " + tok}
+	}
+	if lx.pos != len(tok) {
+		return nil, &SyntaxError{Pos: pos, Msg: "trailing characters in postfix atom " + tok}
+	}
+	return atom, nil
+}

@@ -1,0 +1,35 @@
+package rewrite
+
+import (
+	"wlq/internal/core/pattern"
+)
+
+// DerivedLaws returns equivalences that follow from Definition 4 directly
+// rather than from a numbered theorem of the paper. They are kept separate
+// from Laws() so the E7 experiment reports exactly the paper's 28 law
+// instances; the optimizer uses both sets.
+func DerivedLaws() []Law {
+	return []Law{choiceIdempotent()}
+}
+
+// choiceIdempotent is p ⊗ p → p: incL(p1 ⊗ p2) is the set union
+// incL(p1) ∪ incL(p2) (Definition 4, choice case), so a choice between two
+// structurally equal patterns is the pattern itself.
+func choiceIdempotent() Law {
+	return Law{
+		Name:    "idempotent(⊗)",
+		Theorem: "Definition 4 (derived)",
+		LHS: func(p1, _, _ pattern.Node) pattern.Node {
+			return &pattern.Binary{
+				Op: pattern.OpChoice, Left: p1, Right: pattern.Clone(p1),
+			}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, pattern.OpChoice)
+			if root == nil || !pattern.Equal(root.Left, root.Right) {
+				return p, false
+			}
+			return root.Left, true
+		},
+	}
+}

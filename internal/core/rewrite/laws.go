@@ -1,0 +1,354 @@
+// Package rewrite implements the algebraic layer of "Querying Workflow
+// Logs": the equivalence laws of Theorems 2–5 as rewrite rules, a Lemma 1
+// cost model over index statistics, and a cost-based optimizer that
+// re-brackets associative chains and factors choices — the "basis for query
+// optimization" the paper's Section 4 anticipates.
+//
+// Every transformation in this package preserves incL(p) exactly
+// (Definition 5 equivalence); the property tests in laws_test.go verify
+// this by evaluation over randomized logs.
+package rewrite
+
+import (
+	"wlq/internal/core/pattern"
+)
+
+// Law is a named, directed equivalence: Apply attempts to transform the
+// root of a pattern, reporting whether it matched. Each law corresponds to
+// one direction of an equation in Theorems 2–5.
+type Law struct {
+	// Name identifies the law, e.g. "assoc-right(⊕)" or "distribute-left".
+	Name string
+	// Theorem cites the paper result the law comes from.
+	Theorem string
+	// Apply rewrites the root of p, returning the transformed pattern and
+	// true, or p unchanged and false when the shape does not match.
+	Apply func(p pattern.Node) (pattern.Node, bool)
+	// LHS assembles, from three sub-patterns, a pattern whose root matches
+	// the law's shape (the equation's left-hand side). Laws over fewer than
+	// three sub-patterns ignore the surplus arguments. Test harnesses use
+	// it to exercise every law deterministically.
+	LHS func(p1, p2, p3 pattern.Node) pattern.Node
+}
+
+// binary returns p's root as a Binary with the given operator, or nil.
+func binary(p pattern.Node, op pattern.Op) *pattern.Binary {
+	b, ok := p.(*pattern.Binary)
+	if !ok || b.Op != op {
+		return nil
+	}
+	return b
+}
+
+// assocRight builds the Theorem 2 law (p1 θ p2) θ p3 → p1 θ (p2 θ p3).
+func assocRight(op pattern.Op) Law {
+	return Law{
+		Name:    "assoc-right(" + op.Symbol() + ")",
+		Theorem: "Theorem 2",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: op, Left: &pattern.Binary{Op: op, Left: p1, Right: p2}, Right: p3}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, op)
+			if root == nil {
+				return p, false
+			}
+			left := binary(root.Left, op)
+			if left == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op:   op,
+				Left: left.Left,
+				Right: &pattern.Binary{
+					Op: op, Left: left.Right, Right: root.Right,
+				},
+			}, true
+		},
+	}
+}
+
+// assocLeft builds the Theorem 2 law p1 θ (p2 θ p3) → (p1 θ p2) θ p3.
+func assocLeft(op pattern.Op) Law {
+	return Law{
+		Name:    "assoc-left(" + op.Symbol() + ")",
+		Theorem: "Theorem 2",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: op, Left: p1, Right: &pattern.Binary{Op: op, Left: p2, Right: p3}}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, op)
+			if root == nil {
+				return p, false
+			}
+			right := binary(root.Right, op)
+			if right == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op: op,
+				Left: &pattern.Binary{
+					Op: op, Left: root.Left, Right: right.Left,
+				},
+				Right: right.Right,
+			}, true
+		},
+	}
+}
+
+// commute builds the Theorem 3 law p1 θ p2 → p2 θ p1 for θ ∈ {⊗, ⊕}.
+func commute(op pattern.Op) Law {
+	return Law{
+		Name:    "commute(" + op.Symbol() + ")",
+		Theorem: "Theorem 3",
+		LHS: func(p1, p2, _ pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: op, Left: p1, Right: p2}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, op)
+			if root == nil {
+				return p, false
+			}
+			return &pattern.Binary{Op: op, Left: root.Right, Right: root.Left}, true
+		},
+	}
+}
+
+// mixedShiftLeft builds the Theorem 4 laws
+//
+//	p1 ⊙ (p2 ≺ p3) → (p1 ⊙ p2) ≺ p3   (outer=⊙, inner=≺)
+//	p1 ≺ (p2 ⊙ p3) → (p1 ≺ p2) ⊙ p3   (outer=≺, inner=⊙)
+func mixedShiftLeft(outer, inner pattern.Op) Law {
+	return Law{
+		Name:    "mixed-shift-left(" + outer.Symbol() + "," + inner.Symbol() + ")",
+		Theorem: "Theorem 4",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: outer, Left: p1, Right: &pattern.Binary{Op: inner, Left: p2, Right: p3}}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, outer)
+			if root == nil {
+				return p, false
+			}
+			right := binary(root.Right, inner)
+			if right == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op: inner,
+				Left: &pattern.Binary{
+					Op: outer, Left: root.Left, Right: right.Left,
+				},
+				Right: right.Right,
+			}, true
+		},
+	}
+}
+
+// mixedShiftRight builds the inverse Theorem 4 direction
+// (p1 θ1 p2) θ2 p3 → p1 θ1 (p2 θ2 p3) for {θ1, θ2} = {⊙, ≺}.
+func mixedShiftRight(inner, outer pattern.Op) Law {
+	return Law{
+		Name:    "mixed-shift-right(" + inner.Symbol() + "," + outer.Symbol() + ")",
+		Theorem: "Theorem 4",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: outer, Left: &pattern.Binary{Op: inner, Left: p1, Right: p2}, Right: p3}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, outer)
+			if root == nil {
+				return p, false
+			}
+			left := binary(root.Left, inner)
+			if left == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op:   inner,
+				Left: left.Left,
+				Right: &pattern.Binary{
+					Op: outer, Left: left.Right, Right: root.Right,
+				},
+			}, true
+		},
+	}
+}
+
+// distributeLeft builds the Theorem 5 law
+// p1 θ (p2 ⊗ p3) → (p1 θ p2) ⊗ (p1 θ p3).
+func distributeLeft(op pattern.Op) Law {
+	return Law{
+		Name:    "distribute-left(" + op.Symbol() + ")",
+		Theorem: "Theorem 5",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: op, Left: p1, Right: &pattern.Binary{Op: pattern.OpChoice, Left: p2, Right: p3}}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, op)
+			if root == nil {
+				return p, false
+			}
+			choice := binary(root.Right, pattern.OpChoice)
+			if choice == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op: pattern.OpChoice,
+				Left: &pattern.Binary{
+					Op: op, Left: root.Left, Right: choice.Left,
+				},
+				Right: &pattern.Binary{
+					Op: op, Left: pattern.Clone(root.Left), Right: choice.Right,
+				},
+			}, true
+		},
+	}
+}
+
+// distributeRight builds the Theorem 5 law
+// (p1 ⊗ p2) θ p3 → (p1 θ p3) ⊗ (p2 θ p3).
+func distributeRight(op pattern.Op) Law {
+	return Law{
+		Name:    "distribute-right(" + op.Symbol() + ")",
+		Theorem: "Theorem 5",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{Op: op, Left: &pattern.Binary{Op: pattern.OpChoice, Left: p1, Right: p2}, Right: p3}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, op)
+			if root == nil {
+				return p, false
+			}
+			choice := binary(root.Left, pattern.OpChoice)
+			if choice == nil {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op: pattern.OpChoice,
+				Left: &pattern.Binary{
+					Op: op, Left: choice.Left, Right: root.Right,
+				},
+				Right: &pattern.Binary{
+					Op: op, Left: choice.Right, Right: pattern.Clone(root.Right),
+				},
+			}, true
+		},
+	}
+}
+
+// factorLeft is the inverse of distributeLeft:
+// (p1 θ p2) ⊗ (p1' θ p3) → p1 θ (p2 ⊗ p3) when p1 and p1' are structurally
+// equal. Factoring shrinks the pattern, letting the evaluator compute the
+// shared operand's incident set once.
+func factorLeft(op pattern.Op) Law {
+	return Law{
+		Name:    "factor-left(" + op.Symbol() + ")",
+		Theorem: "Theorem 5 (inverse)",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{
+				Op:    pattern.OpChoice,
+				Left:  &pattern.Binary{Op: op, Left: p1, Right: p2},
+				Right: &pattern.Binary{Op: op, Left: pattern.Clone(p1), Right: p3},
+			}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, pattern.OpChoice)
+			if root == nil {
+				return p, false
+			}
+			l := binary(root.Left, op)
+			r := binary(root.Right, op)
+			if l == nil || r == nil || !pattern.Equal(l.Left, r.Left) {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op:   op,
+				Left: l.Left,
+				Right: &pattern.Binary{
+					Op: pattern.OpChoice, Left: l.Right, Right: r.Right,
+				},
+			}, true
+		},
+	}
+}
+
+// factorRight is the inverse of distributeRight:
+// (p1 θ p3) ⊗ (p2 θ p3') → (p1 ⊗ p2) θ p3 when p3 ≡ p3' structurally.
+func factorRight(op pattern.Op) Law {
+	return Law{
+		Name:    "factor-right(" + op.Symbol() + ")",
+		Theorem: "Theorem 5 (inverse)",
+		LHS: func(p1, p2, p3 pattern.Node) pattern.Node {
+			return &pattern.Binary{
+				Op:    pattern.OpChoice,
+				Left:  &pattern.Binary{Op: op, Left: p1, Right: p3},
+				Right: &pattern.Binary{Op: op, Left: p2, Right: pattern.Clone(p3)},
+			}
+		},
+		Apply: func(p pattern.Node) (pattern.Node, bool) {
+			root := binary(p, pattern.OpChoice)
+			if root == nil {
+				return p, false
+			}
+			l := binary(root.Left, op)
+			r := binary(root.Right, op)
+			if l == nil || r == nil || !pattern.Equal(l.Right, r.Right) {
+				return p, false
+			}
+			return &pattern.Binary{
+				Op: op,
+				Left: &pattern.Binary{
+					Op: pattern.OpChoice, Left: l.Left, Right: r.Left,
+				},
+				Right: l.Right,
+			}, true
+		},
+	}
+}
+
+// AllOps lists the four operators.
+var AllOps = []pattern.Op{
+	pattern.OpConsecutive, pattern.OpSequential, pattern.OpChoice, pattern.OpParallel,
+}
+
+// Laws returns every law family of Theorems 2–5, both directions where the
+// equations are directed.
+func Laws() []Law {
+	var laws []Law
+	for _, op := range AllOps {
+		laws = append(laws, assocRight(op), assocLeft(op))
+	}
+	laws = append(laws,
+		commute(pattern.OpChoice),
+		commute(pattern.OpParallel),
+		mixedShiftLeft(pattern.OpConsecutive, pattern.OpSequential),
+		mixedShiftLeft(pattern.OpSequential, pattern.OpConsecutive),
+		mixedShiftRight(pattern.OpConsecutive, pattern.OpSequential),
+		mixedShiftRight(pattern.OpSequential, pattern.OpConsecutive),
+	)
+	for _, op := range AllOps {
+		laws = append(laws, distributeLeft(op), distributeRight(op))
+		if op != pattern.OpChoice { // factoring ⊗ over ⊗ is a no-op shape
+			laws = append(laws, factorLeft(op), factorRight(op))
+		}
+	}
+	return laws
+}
+
+// ApplyEverywhere applies the law once at every matching node, bottom-up,
+// and reports how many times it fired. The input is not modified.
+func ApplyEverywhere(p pattern.Node, law Law) (pattern.Node, int) {
+	fired := 0
+	var rec func(pattern.Node) pattern.Node
+	rec = func(n pattern.Node) pattern.Node {
+		if b, ok := n.(*pattern.Binary); ok {
+			n = &pattern.Binary{Op: b.Op, Left: rec(b.Left), Right: rec(b.Right)}
+		}
+		if out, ok := law.Apply(n); ok {
+			fired++
+			return out
+		}
+		return n
+	}
+	return rec(pattern.Clone(p)), fired
+}

@@ -1,0 +1,151 @@
+package rewrite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/wlog"
+)
+
+// randomLog builds a small random log: 1-3 instances, alphabet {A,B,C},
+// 3-9 activity records per log.
+func randomLog(t testing.TB, rng *rand.Rand) *wlog.Log {
+	t.Helper()
+	alphabet := []string{"A", "B", "C"}
+	var b wlog.Builder
+	numInst := 1 + rng.Intn(3)
+	wids := make([]uint64, numInst)
+	for i := range wids {
+		wids[i] = b.Start()
+	}
+	for step := 0; step < 3+rng.Intn(7); step++ {
+		wid := wids[rng.Intn(numInst)]
+		if err := b.Emit(wid, alphabet[rng.Intn(len(alphabet))], nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomPattern(rng *rand.Rand, depth int) pattern.Node {
+	if depth <= 1 || rng.Intn(3) == 0 {
+		name := []string{"A", "B", "C"}[rng.Intn(3)]
+		if rng.Intn(6) == 0 {
+			return pattern.NewNegAtom(name)
+		}
+		return pattern.NewAtom(name)
+	}
+	return &pattern.Binary{
+		Op:    AllOps[rng.Intn(len(AllOps))],
+		Left:  randomPattern(rng, depth-1),
+		Right: randomPattern(rng, depth-1),
+	}
+}
+
+// checkEquivalent asserts incL(p) = incL(q) on the given log.
+func checkEquivalent(t *testing.T, l *wlog.Log, p, q pattern.Node, context string) {
+	t.Helper()
+	ix := eval.NewIndex(l)
+	sp := eval.EvalSet(ix, p)
+	sq := eval.EvalSet(ix, q)
+	if !sp.Equal(sq) {
+		t.Fatalf("%s: %s and %s differ:\n  %s\n  %s\nlog:\n%s",
+			context, p, q, sp, sq, l)
+	}
+}
+
+// TestLawsPreserveSemantics is experiment E7: every law of Theorems 2–5,
+// applied to randomized sub-patterns over randomized logs, leaves incL
+// unchanged.
+func TestLawsPreserveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	laws := Laws()
+	if len(laws) != 8+2+4+8+6 {
+		t.Fatalf("law inventory = %d, want 28", len(laws))
+	}
+	for _, law := range laws {
+		law := law
+		t.Run(law.Name, func(t *testing.T) {
+			fired := 0
+			for trial := 0; trial < 40; trial++ {
+				p1 := randomPattern(rng, 2)
+				p2 := randomPattern(rng, 2)
+				p3 := randomPattern(rng, 2)
+				lhs := law.LHS(p1, p2, p3)
+				rhs, applied := law.Apply(lhs)
+				if !applied {
+					t.Fatalf("law %s did not fire on its own shape %s", law.Name, lhs)
+				}
+				fired++
+				checkEquivalent(t, randomLog(t, rng), lhs, rhs, law.Name)
+			}
+			if fired == 0 {
+				t.Fatalf("law %s never fired", law.Name)
+			}
+		})
+	}
+}
+
+// TestLawsDoNotFireOnWrongShapes: each law must decline a bare atom.
+func TestLawsDoNotFireOnWrongShapes(t *testing.T) {
+	atom := pattern.NewAtom("A")
+	for _, law := range Laws() {
+		if _, ok := law.Apply(atom); ok {
+			t.Errorf("law %s fired on an atom", law.Name)
+		}
+	}
+}
+
+func TestLawMetadata(t *testing.T) {
+	for _, law := range Laws() {
+		if law.Name == "" || law.Theorem == "" {
+			t.Errorf("law with missing metadata: %+v", law)
+		}
+		if !strings.HasPrefix(law.Theorem, "Theorem") {
+			t.Errorf("law %s cites %q", law.Name, law.Theorem)
+		}
+	}
+}
+
+func TestApplyEverywhere(t *testing.T) {
+	// Two factorable choices in one tree.
+	p := pattern.MustParse("((A -> B) | (A -> C)) & ((X . Y) | (X . Z))")
+	lawSeq := factorLeft(pattern.OpSequential)
+	out, n := ApplyEverywhere(p, lawSeq)
+	if n != 1 {
+		t.Fatalf("factor-left(≺) fired %d times, want 1", n)
+	}
+	lawCons := factorLeft(pattern.OpConsecutive)
+	out, n = ApplyEverywhere(out, lawCons)
+	if n != 1 {
+		t.Fatalf("factor-left(⊙) fired %d times, want 1", n)
+	}
+	want := pattern.MustParse("(A -> (B | C)) & (X . (Y | Z))")
+	if !pattern.Equal(out, want) {
+		t.Errorf("ApplyEverywhere = %s, want %s", out, want)
+	}
+	// Original must be untouched.
+	if p.String() != "(A -> B | A -> C) & (X . Y | X . Z)" {
+		t.Errorf("input mutated: %s", p)
+	}
+}
+
+// TestMixedChainTheorem4 exercises the specific Theorem 4 statements on a
+// fixed log where all bracketings are observable.
+func TestMixedChainTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		l := randomLog(t, rng)
+		pairs := [][2]string{
+			{"A . (B -> C)", "(A . B) -> C"},
+			{"A -> (B . C)", "(A -> B) . C"},
+		}
+		for _, pair := range pairs {
+			checkEquivalent(t, l,
+				pattern.MustParse(pair[0]), pattern.MustParse(pair[1]), "Theorem 4")
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wlq/internal/core/pattern"
+)
+
+// Explanation records what the optimizer did to a pattern.
+type Explanation struct {
+	// Before and After are the estimated Lemma 1 costs.
+	Before, After float64
+	// Steps names the transformations applied, in order.
+	Steps []string
+}
+
+// String summarizes the explanation for CLI display.
+func (ex Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "estimated cost %.4g -> %.4g", ex.Before, ex.After)
+	if len(ex.Steps) > 0 {
+		sb.WriteString(" via ")
+		sb.WriteString(strings.Join(ex.Steps, ", "))
+	}
+	return sb.String()
+}
+
+// Optimize rewrites p into an equivalent pattern with lower estimated cost,
+// using only the Theorem 2–5 laws:
+//
+//  1. choice factoring (inverse distributivity, Theorem 5) to fixpoint;
+//  2. dynamic-programming re-bracketing of ⊙/≺ chains (Theorems 2 and 4);
+//  3. operand reordering plus left-deep re-bracketing of ⊗ and ⊕ chains
+//     (Theorems 2 and 3), smallest estimated operand first.
+//
+// The result always satisfies incL(Optimize(p)) = incL(p). Optimize never
+// returns a pattern costlier than its input.
+func Optimize(p pattern.Node, stats Stats) (pattern.Node, Explanation) {
+	est := NewEstimator(stats)
+	ex := Explanation{Before: est.Cost(p)}
+	out := pattern.Clone(p)
+
+	// Pass 1: factoring.
+	factored := out
+	fired := 0
+	for pass := 0; pass < 10; pass++ {
+		roundFired := 0
+		for _, op := range AllOps {
+			if op == pattern.OpChoice {
+				continue
+			}
+			var n int
+			factored, n = ApplyEverywhere(factored, factorLeft(op))
+			roundFired += n
+			factored, n = ApplyEverywhere(factored, factorRight(op))
+			roundFired += n
+		}
+		fired += roundFired
+		if roundFired == 0 {
+			break
+		}
+	}
+	if fired > 0 && est.Cost(factored) <= est.Cost(out) {
+		out = factored
+		ex.Steps = append(ex.Steps, fmt.Sprintf("factored %d choice(s)", fired))
+	}
+
+	// Pass 2 + 3: chain re-bracketing, bottom-up over the whole tree.
+	rebracketed, notes := rebracket(out, est)
+	if len(notes) > 0 && est.Cost(rebracketed) <= est.Cost(out) {
+		out = rebracketed
+		ex.Steps = append(ex.Steps, notes...)
+	}
+
+	ex.After = est.Cost(out)
+	return out, ex
+}
+
+// chainKind classifies an operator for chain flattening: ⊙ and ≺ form one
+// interchangeable family (Theorem 4); ⊗ and ⊕ each form their own.
+func chainKind(op pattern.Op) int {
+	switch op {
+	case pattern.OpConsecutive, pattern.OpSequential:
+		return 1
+	case pattern.OpParallel:
+		return 2
+	case pattern.OpChoice:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// rebracket walks the tree bottom-up; at every maximal chain of one kind it
+// re-brackets (and, for commutative kinds, reorders) for minimal estimated
+// cost.
+func rebracket(p pattern.Node, est *Estimator) (pattern.Node, []string) {
+	var notes []string
+	var rec func(pattern.Node) pattern.Node
+	rec = func(n pattern.Node) pattern.Node {
+		b, ok := n.(*pattern.Binary)
+		if !ok {
+			return n
+		}
+		kind := chainKind(b.Op)
+		operands, ops := flattenChain(b, kind)
+		for i, o := range operands {
+			operands[i] = rec(o) // optimize below the chain first
+		}
+		if b.Op == pattern.OpChoice {
+			if deduped := dedupOperands(operands); len(deduped) < len(operands) {
+				notes = append(notes,
+					fmt.Sprintf("dropped %d duplicate choice operand(s)", len(operands)-len(deduped)))
+				operands = deduped
+				ops = ops[:len(operands)-1]
+				if len(operands) == 1 {
+					return operands[0]
+				}
+			}
+		}
+		if len(operands) < 3 {
+			// A 2-operand "chain" has a single bracketing; for commutative
+			// ops, ordering the cheaper operand left still helps the joins'
+			// inner loop but not the estimate; keep the input shape.
+			return &pattern.Binary{Op: b.Op, Left: operands[0], Right: operands[len(operands)-1]}
+		}
+		var rebuilt pattern.Node
+		var note string
+		if b.Op.Commutative() {
+			rebuilt, note = rebuildCommutative(b.Op, operands, est)
+		} else {
+			rebuilt, note = rebuildDP(operands, ops, est)
+		}
+		if note != "" {
+			notes = append(notes, note)
+		}
+		return rebuilt
+	}
+	return rec(pattern.Clone(p)), notes
+}
+
+// flattenChain collects the maximal same-kind chain rooted at b into its
+// operand list and the operator sequence between adjacent operands.
+func flattenChain(b *pattern.Binary, kind int) (operands []pattern.Node, ops []pattern.Op) {
+	var rec func(n pattern.Node)
+	rec = func(n pattern.Node) {
+		if nb, ok := n.(*pattern.Binary); ok && chainKind(nb.Op) == kind {
+			rec(nb.Left)
+			ops = append(ops, nb.Op)
+			rec(nb.Right)
+			return
+		}
+		operands = append(operands, n)
+	}
+	rec(b)
+	return operands, ops
+}
+
+// rebuildDP chooses the cheapest bracketing of a non-commutative ⊙/≺ chain
+// by interval dynamic programming (the matrix-chain pattern). Operand order
+// and the operator sequence are fixed; Theorems 2 and 4 license every
+// bracketing.
+func rebuildDP(operands []pattern.Node, ops []pattern.Op, est *Estimator) (pattern.Node, string) {
+	n := len(operands)
+	type cell struct {
+		est   Estimate
+		split int
+	}
+	dp := make([][]cell, n)
+	for i := range dp {
+		dp[i] = make([]cell, n)
+		dp[i][i] = cell{est: est.Estimate(operands[i])}
+	}
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := cell{est: Estimate{Cost: math.Inf(1)}}
+			for k := i; k < j; k++ {
+				combined := est.Combine(ops[k], dp[i][k].est, dp[k+1][j].est)
+				if combined.Cost < best.est.Cost {
+					best = cell{est: combined, split: k}
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	var build func(i, j int) pattern.Node
+	build = func(i, j int) pattern.Node {
+		if i == j {
+			return operands[i]
+		}
+		k := dp[i][j].split
+		return &pattern.Binary{Op: ops[k], Left: build(i, k), Right: build(k+1, j)}
+	}
+	out := build(0, n-1)
+	return out, fmt.Sprintf("re-bracketed %d-operand %s chain", n, ops[0].Name())
+}
+
+// dedupOperands removes structurally equal duplicates from a ⊗ chain's
+// operand list (the derived idempotence law: incL(p ⊗ p) = incL(p)).
+// First occurrences are kept in order.
+func dedupOperands(operands []pattern.Node) []pattern.Node {
+	out := make([]pattern.Node, 0, len(operands))
+	for _, o := range operands {
+		dup := false
+		for _, kept := range out {
+			if pattern.Equal(o, kept) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// rebuildCommutative reorders a ⊗ or ⊕ chain smallest-estimate first and
+// rebuilds it left-deep, keeping intermediate results small (greedy; exact
+// ordering is a join-ordering problem). Reordering is licensed by Theorem 3,
+// re-bracketing by Theorem 2.
+func rebuildCommutative(op pattern.Op, operands []pattern.Node, est *Estimator) (pattern.Node, string) {
+	type ranked struct {
+		node pattern.Node
+		est  Estimate
+		pos  int
+	}
+	rs := make([]ranked, len(operands))
+	for i, o := range operands {
+		rs[i] = ranked{node: o, est: est.Estimate(o), pos: i}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].est.Card != rs[j].est.Card {
+			return rs[i].est.Card < rs[j].est.Card
+		}
+		return rs[i].pos < rs[j].pos
+	})
+	acc := rs[0].node
+	for _, r := range rs[1:] {
+		acc = &pattern.Binary{Op: op, Left: acc, Right: r.node}
+	}
+	return acc, fmt.Sprintf("reordered %d-operand %s chain", len(operands), op.Name())
+}
+
+// Canonicalize rewrites p into a canonical representative of its
+// syntactic-equivalence class under associativity (Theorem 2) and
+// commutativity (Theorem 3): associative chains are flattened and rebuilt
+// left-deep, and the operand lists of commutative chains are sorted by
+// their printed form. Patterns equal under those laws canonicalize
+// identically (Theorem 4/5 equalities are not normalized).
+func Canonicalize(p pattern.Node) pattern.Node {
+	b, ok := p.(*pattern.Binary)
+	if !ok {
+		return pattern.Clone(p)
+	}
+	// Flatten the maximal chain of exactly this operator (not the mixed
+	// ⊙/≺ family: canonical form must preserve the operator sequence).
+	var operands []pattern.Node
+	var rec func(n pattern.Node)
+	rec = func(n pattern.Node) {
+		if nb, ok := n.(*pattern.Binary); ok && nb.Op == b.Op {
+			rec(nb.Left)
+			rec(nb.Right)
+			return
+		}
+		operands = append(operands, Canonicalize(n))
+	}
+	rec(b)
+	if b.Op.Commutative() {
+		sort.SliceStable(operands, func(i, j int) bool {
+			return operands[i].String() < operands[j].String()
+		})
+	}
+	acc := operands[0]
+	for _, o := range operands[1:] {
+		acc = &pattern.Binary{Op: b.Op, Left: acc, Right: o}
+	}
+	return acc
+}
+
+// EquivalentModuloAC reports whether two patterns are provably equivalent
+// using associativity (Theorem 2) and commutativity (Theorem 3) alone: both
+// canonicalize to the same tree. It is sound but incomplete — equivalences
+// that need Theorem 4, Theorem 5 or Definition 4 reasoning (e.g.
+// distributed vs. factored forms) are not detected.
+func EquivalentModuloAC(p, q pattern.Node) bool {
+	return pattern.Equal(Canonicalize(p), Canonicalize(q))
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wlq/internal/analytics"
+	"wlq/internal/benchkit"
+	"wlq/internal/clinic"
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/gen"
+	"wlq/internal/wlog"
+)
+
+// runNaiveVsMerge (E9) ablates the published nested-loop joins against the
+// merge-based variants that exploit the sorted incident-set order the paper
+// notes in Section 3.1 but never uses.
+func runNaiveVsMerge(w io.Writer, quick bool) error {
+	n := 2000
+	if quick {
+		n = 200
+	}
+	type workload struct {
+		label string
+		log   *wlog.Log
+		query string
+	}
+	workloads := []workload{
+		{
+			// No A precedes any B: naive scans all n² pairs, merge binary-
+			// searches to the empty suffix per o1.
+			label: fmt.Sprintf("≺ zero-selectivity (B×%d then A×%d)", n, n),
+			log:   gen.Blocks("B", n, "A", n),
+			query: "A -> B",
+		},
+		{
+			// Exactly one adjacent pair: naive n², merge n·log n.
+			label: fmt.Sprintf("⊙ one match (A×%d then B×%d)", n, n),
+			log:   gen.Blocks("A", n, "B", n),
+			query: "A . B",
+		},
+		{
+			label: fmt.Sprintf("⊙ alternating (%d rounds)", n/2),
+			log:   gen.Alternating([]string{"A", "B"}, n/2),
+			query: "A . B",
+		},
+		{
+			// Duplicate-heavy choice: naive's pairwise duplicate scan vs
+			// the linear merge of sorted sets.
+			label: "⊗ duplicate-heavy",
+			log:   gen.Blocks("A", n/40, "B", n/40),
+			query: "(A -> B) | (A -> B)",
+		},
+		{
+			// Parallel with separated ranges: merge skips the per-record
+			// disjointness scan via range pre-checks.
+			label: fmt.Sprintf("⊕ disjoint ranges (%d each)", n/4),
+			log:   gen.Blocks("A", n/4, "B", n/4),
+			query: "A & B",
+		},
+	}
+
+	fmt.Fprintln(w, "== Algorithm 1 (naive) vs sorted-merge joins ==")
+	rows := [][]string{{"workload", "naive", "merge", "speedup", "|incL|"}}
+	for _, wl := range workloads {
+		ix := eval.NewIndex(wl.log)
+		p := pattern.MustParse(wl.query)
+		naive := benchkit.Measure(func() {
+			eval.New(ix, eval.Options{Strategy: eval.StrategyNaive}).Eval(p)
+		})
+		merge := benchkit.Measure(func() {
+			eval.New(ix, eval.Options{Strategy: eval.StrategyMerge}).Eval(p)
+		})
+		out := eval.New(ix, eval.Options{}).Eval(p).Len()
+		rows = append(rows, []string{
+			wl.label, naive.String(), merge.String(),
+			fmt.Sprintf("%.2fx", float64(naive)/float64(merge)),
+			fmt.Sprint(out),
+		})
+	}
+	fmt.Fprint(w, benchkit.Align(rows))
+	fmt.Fprintln(w, "expected: merge wins by growing factors as selectivity drops; identical results (cross-checked in tests)")
+	return nil
+}
+
+// runAnalytics (E10) times the paper's Section 1 motivating queries on
+// generated clinic logs of growing size, including the existence-only
+// short-circuit ablation.
+func runAnalytics(w io.Writer, quick bool) error {
+	sizes := []float64{100, 400, 1600}
+	if quick {
+		sizes = []float64{50, 100}
+	}
+
+	sw := benchkit.Run("motivating query: yearly high-balance referrals", "instances", sizes,
+		func(x float64) (func(), map[string]float64) {
+			l, err := clinic.Generate(int(x), 7)
+			if err != nil {
+				panic(err)
+			}
+			ix := eval.NewIndex(l)
+			p := pattern.MustParse("GetRefer[balance>5000]")
+			run := func() {
+				set := eval.New(ix, eval.Options{}).Eval(p)
+				analytics.GroupBy(set, analytics.ByAttr(ix, "year"))
+			}
+			set := eval.New(ix, eval.Options{}).Eval(p)
+			return run, map[string]float64{
+				"matches": float64(set.Len()),
+				"records": float64(l.Len()),
+			}
+		})
+	fmt.Fprint(w, sw.Table())
+	fmt.Fprintln(w, "expected: near-linear in log size (indexed atomic match + grouping)")
+	fmt.Fprintln(w)
+
+	rows := [][]string{{"instances", "full enumeration", "exists-only", "speedup", "anomalies"}}
+	for _, x := range sizes {
+		l, err := clinic.Generate(int(x), 7)
+		if err != nil {
+			return err
+		}
+		ix := eval.NewIndex(l)
+		p := pattern.MustParse("GetReimburse -> UpdateRefer")
+		e := eval.New(ix, eval.Options{})
+		full := benchkit.Measure(func() { e.Eval(p) })
+		exists := benchkit.Measure(func() { e.Exists(p) })
+		rows = append(rows, []string{
+			fmt.Sprint(int(x)), full.String(), exists.String(),
+			fmt.Sprintf("%.2fx", float64(full)/float64(exists)),
+			fmt.Sprint(e.Count(p)),
+		})
+	}
+	fmt.Fprintln(w, "== anomaly detection: UpdateRefer after GetReimburse ==")
+	fmt.Fprint(w, benchkit.Align(rows))
+	fmt.Fprintln(w, "expected: exists-only at least as fast (stops at the first offending instance)")
+	return nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"wlq/internal/benchkit"
+	"wlq/internal/clinic"
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/stream"
+	"wlq/internal/wlog"
+)
+
+// runParallelEval (E11) measures per-instance parallel evaluation: because
+// incidents never span workflow instances (Definition 4), incL(p)
+// decomposes over instances and the evaluation parallelizes without
+// synchronization. The sweep varies the worker count on a fixed log.
+func runParallelEval(w io.Writer, quick bool) error {
+	instances := 400
+	if quick {
+		instances = 80
+	}
+	l, err := clinic.Generate(instances, 7)
+	if err != nil {
+		return err
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+	// A per-instance-quadratic query so each instance carries real work.
+	p := pattern.MustParse("(!A & !B) -> GetReimburse")
+	serialSet := e.Eval(p)
+
+	workers := []float64{1, 2, 4, 8}
+	sw := benchkit.Run(
+		fmt.Sprintf("parallel evaluation, %d instances (GOMAXPROCS=%d)", instances, runtime.GOMAXPROCS(0)),
+		"workers", workers,
+		func(x float64) (func(), map[string]float64) {
+			n := int(x)
+			same := 0.0
+			if e.EvalParallel(p, n).Equal(serialSet) {
+				same = 1
+			}
+			return func() { e.EvalParallel(p, n) },
+				map[string]float64{"|incL|": float64(serialSet.Len()), "equal": same}
+		})
+	fmt.Fprint(w, sw.Table())
+	fmt.Fprintln(w, "expected: equal=1 everywhere (correctness); speedup bounded by physical")
+	fmt.Fprintln(w, "cores — modest on small containers, where GC and the second hardware")
+	fmt.Fprintln(w, "thread contend with the workers")
+	return nil
+}
+
+// runMonitor (E12) ablates streaming evaluation: ingesting a log record by
+// record through the Monitor (incremental index + per-instance existence
+// re-checks) versus re-indexing and re-evaluating the whole prefix at each
+// batch boundary, the naive way to watch a growing log.
+func runMonitor(w io.Writer, quick bool) error {
+	instances := 150
+	if quick {
+		instances = 40
+	}
+	l, err := clinic.Generate(instances, 23)
+	if err != nil {
+		return err
+	}
+	records := l.Records()
+	watches := map[string]string{
+		"fraud":   "GetReimburse -> UpdateRefer",
+		"triple":  "SeeDoctor -> SeeDoctor -> SeeDoctor",
+		"updated": "UpdateRefer -> UpdateRefer",
+	}
+
+	streamTime := benchkit.Measure(func() {
+		m := stream.NewMonitor(nil)
+		for name, q := range watches {
+			if err := m.Watch(name, q); err != nil {
+				panic(err)
+			}
+		}
+		for _, r := range records {
+			if err := m.Ingest(r); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// Baseline 1: re-index and re-evaluate every batch records. Cheaper,
+	// but alerts are delayed by up to a full batch.
+	const batch = 200
+	reEvalPrefix := func(cut int) {
+		prefix, err := wlog.New(records[:cut])
+		if err != nil {
+			panic(err)
+		}
+		ix := eval.NewIndex(prefix)
+		e := eval.New(ix, eval.Options{})
+		for _, q := range watches {
+			e.Exists(pattern.MustParse(q))
+		}
+	}
+	batchTime := benchkit.Measure(func() {
+		for cut := batch; ; cut += batch {
+			if cut > len(records) {
+				cut = len(records)
+			}
+			reEvalPrefix(cut)
+			if cut == len(records) {
+				break
+			}
+		}
+	})
+
+	// Baseline 2: re-index after every record — the only way the naive
+	// approach matches the monitor's record-granularity alert latency.
+	// Quadratic in the log length.
+	perRecordTime := benchkit.Measure(func() {
+		for cut := 1; cut <= len(records); cut++ {
+			reEvalPrefix(cut)
+		}
+	})
+
+	// Correctness: fired-instance counts equal batch distinct instances.
+	m := stream.NewMonitor(nil)
+	for name, q := range watches {
+		if err := m.Watch(name, q); err != nil {
+			return err
+		}
+	}
+	if err := m.IngestLog(l); err != nil {
+		return err
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+	rows := [][]string{{"watch", "monitor instances", "batch instances", "agree"}}
+	for name, q := range watches {
+		batchN := len(e.Eval(pattern.MustParse(q)).WIDs())
+		monN := m.FiredInstances(name)
+		rows = append(rows, []string{
+			name, fmt.Sprint(monN), fmt.Sprint(batchN), fmt.Sprint(monN == batchN),
+		})
+	}
+	fmt.Fprintf(w, "== streaming monitor vs prefix re-evaluation (%d records, %d-record batches) ==\n",
+		len(records), batch)
+	fmt.Fprint(w, benchkit.Align([][]string{
+		{"method", "alert latency", "time"},
+		{"monitor (incremental index)", "1 record", streamTime.String()},
+		{"re-index every record", "1 record", perRecordTime.String()},
+		{"re-index each batch", fmt.Sprintf("%d records", batch), batchTime.String()},
+	}))
+	fmt.Fprintf(w, "speedup at equal alert latency: %.1fx\n\n", float64(perRecordTime)/float64(streamTime))
+	fmt.Fprint(w, benchkit.Align(rows))
+	fmt.Fprintln(w, "expected: monitor beats the equal-latency baseline by a wide margin and")
+	fmt.Fprintln(w, "is comparable to coarse batching while alerting per record; counts agree")
+	return nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wlq/internal/benchkit"
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/gen"
+	"wlq/internal/wlog"
+)
+
+// naiveEval evaluates p over l with the published Algorithm 1 joins.
+func naiveEval(l *wlog.Log, p pattern.Node) int {
+	ix := eval.NewIndex(l)
+	return eval.New(ix, eval.Options{Strategy: eval.StrategyNaive}).Eval(p).Len()
+}
+
+// runLemma1ConsSeq (E3) measures the consecutive and sequential joins of
+// Algorithm 1 against their O(n1·n2) bound. The swept x axis is n1·n2; a
+// power-law fit near slope 1 confirms the bound's shape.
+func runLemma1ConsSeq(w io.Writer, quick bool) error {
+	rounds := []float64{250, 500, 1000, 2000, 4000}
+	if quick {
+		rounds = []float64{50, 100, 200}
+	}
+	// Consecutive: alternating A B A B ... — every adjacent pair matches,
+	// |incL(A)| = |incL(B)| = rounds.
+	cons := benchkit.Run("Lemma 1 — consecutive ⊙ (naive, alternating log)", "n1*n2", rounds,
+		func(x float64) (func(), map[string]float64) {
+			r := int(x)
+			l := gen.Alternating([]string{"A", "B"}, r)
+			p := pattern.MustParse("A . B")
+			out := float64(naiveEval(l, p))
+			return func() { naiveEval(l, p) }, map[string]float64{"n1": x, "n2": x, "|out|": out}
+		})
+	// Rescale x to n1·n2 for the fit.
+	for i := range cons.Points {
+		cons.Points[i].X *= cons.Points[i].X
+	}
+	fmt.Fprint(w, cons.Table())
+	fmt.Fprintln(w, "expected: time ~ (n1*n2)^1.0 — Lemma 1 bullet 1")
+	fmt.Fprintln(w)
+
+	sizes := []float64{50, 100, 200, 400}
+	if quick {
+		sizes = []float64{20, 40, 80}
+	}
+	// Sequential: block layout A×n B×n — all n² pairs match, so both the
+	// join and the (unavoidable) output are n1·n2.
+	seq := benchkit.Run("Lemma 1 — sequential ≺ (naive, block log)", "n1*n2", sizes,
+		func(x float64) (func(), map[string]float64) {
+			n := int(x)
+			l := gen.Blocks("A", n, "B", n)
+			p := pattern.MustParse("A -> B")
+			out := float64(naiveEval(l, p))
+			return func() { naiveEval(l, p) }, map[string]float64{"n1": x, "n2": x, "|out|": out}
+		})
+	for i := range seq.Points {
+		seq.Points[i].X *= seq.Points[i].X
+	}
+	fmt.Fprint(w, seq.Table())
+	fmt.Fprintln(w, "expected: time ~ (n1*n2)^1.0, |out| = n1*n2 — Lemma 1 bullet 2")
+	return nil
+}
+
+// runLemma1Choice (E4) measures the choice join with duplicate elimination:
+// both operands share the activity multiset, so the published algorithm's
+// O(n1·n2·min(k1,k2)) pairwise duplicate scan engages fully.
+func runLemma1Choice(w io.Writer, quick bool) error {
+	sizes := []float64{24, 32, 48, 64, 96}
+	if quick {
+		sizes = []float64{4, 6, 8}
+	}
+	sw := benchkit.Run("Lemma 1 — choice ⊗ (naive, duplicate-heavy)", "n1*n2", sizes,
+		func(x float64) (func(), map[string]float64) {
+			n := int(x)
+			l := gen.Blocks("A", n, "B", n)
+			// (A -> B) | (A -> B): identical incident sets of size n².
+			p := pattern.MustParse("(A -> B) | (A -> B)")
+			out := float64(naiveEval(l, p))
+			n2 := float64(n * n)
+			return func() { naiveEval(l, p) }, map[string]float64{"n1": n2, "n2": n2, "|out|": out}
+		})
+	for i := range sw.Points {
+		n2 := sw.Points[i].Extra["n1"]
+		sw.Points[i].X = n2 * n2
+	}
+	fmt.Fprint(w, sw.Table())
+	fmt.Fprintln(w, "expected: time ~ (n1*n2)^1.0 with the min(k1,k2)=2 duplicate scan; |out| = n1 — Lemma 1 bullet 3")
+	return nil
+}
+
+// runLemma1Parallel (E5) measures the parallel join on disjoint operand
+// sets (every pair unions) and sweeps the incident widths k1+k2 at fixed
+// n1·n2 to expose the O(n1·n2·(k1+k2)) factor.
+func runLemma1Parallel(w io.Writer, quick bool) error {
+	sizes := []float64{50, 100, 200, 400}
+	if quick {
+		sizes = []float64{20, 40, 80}
+	}
+	sw := benchkit.Run("Lemma 1 — parallel ⊕ (naive, disjoint blocks)", "n1*n2", sizes,
+		func(x float64) (func(), map[string]float64) {
+			n := int(x)
+			l := gen.Blocks("A", n, "B", n)
+			p := pattern.MustParse("A & B")
+			out := float64(naiveEval(l, p))
+			return func() { naiveEval(l, p) }, map[string]float64{"n1": x, "n2": x, "|out|": out}
+		})
+	for i := range sw.Points {
+		sw.Points[i].X *= sw.Points[i].X
+	}
+	fmt.Fprint(w, sw.Table())
+	fmt.Fprintln(w, "expected: time ~ (n1*n2)^1.0, |out| = n1*n2 — Lemma 1 bullet 4")
+	fmt.Fprintln(w)
+
+	// Width sweep: chains A1 & A2 & ... on a log with one block per
+	// activity; at each width the final join unions wider incidents.
+	widths := []float64{2, 3, 4, 5}
+	if quick {
+		widths = []float64{2, 3}
+	}
+	// Small blocks: the output count is blockLen^k and would explode at
+	// realistic block sizes (that is Theorem 1's point, measured in E6).
+	const blockLen = 8
+	ws := benchkit.Run("Lemma 1 — parallel ⊕ width factor (k1+k2)", "k1+k2", widths,
+		func(x float64) (func(), map[string]float64) {
+			k := int(x)
+			pairs := make([]any, 0, 2*k)
+			names := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				name := fmt.Sprintf("A%d", i)
+				names = append(names, name)
+				pairs = append(pairs, name, blockLen)
+			}
+			l := gen.Blocks(pairs...)
+			p := gen.ChainPattern(pattern.OpParallel, names...)
+			out := float64(naiveEval(l, p))
+			return func() { naiveEval(l, p) }, map[string]float64{"|out|": out}
+		})
+	fmt.Fprint(w, ws.Table())
+	fmt.Fprintln(w, "expected: superlinear growth in the chain width (both k and the n_i products grow)")
+	return nil
+}

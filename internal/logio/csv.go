@@ -1,0 +1,230 @@
+package logio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wlq/internal/wlog"
+)
+
+// Event-log CSV interop. Process-mining tools conventionally exchange
+// "event logs": one row per activity execution with at least a case id and
+// an activity name, optionally a timestamp and arbitrary data columns (a
+// flat cousin of XES). ImportCSV turns such a file into a workflow log
+// satisfying Definition 2 — synthesizing the START (and optionally END)
+// records the paper's model requires — so external event logs can be
+// queried with incident patterns directly.
+
+// CSVOptions configures ImportCSV.
+type CSVOptions struct {
+	// CaseColumn names the column holding the case (workflow instance) id.
+	// Default "case".
+	CaseColumn string
+	// ActivityColumn names the column holding the activity name.
+	// Default "activity".
+	ActivityColumn string
+	// TimeColumn, when non-empty, names a column used to order events
+	// (lexicographic comparison, so use sortable timestamps like RFC 3339).
+	// Rows with equal keys, or all rows when TimeColumn is empty, keep file
+	// order. The time value is stored as attribute "time" in αout.
+	TimeColumn string
+	// CompleteCases appends an END record to every case.
+	CompleteCases bool
+}
+
+func (o *CSVOptions) normalize() {
+	if o.CaseColumn == "" {
+		o.CaseColumn = "case"
+	}
+	if o.ActivityColumn == "" {
+		o.ActivityColumn = "activity"
+	}
+}
+
+// CSV import errors.
+var (
+	// ErrCSVHeader is returned when a required column is missing.
+	ErrCSVHeader = errors.New("logio: missing CSV column")
+	// ErrCSVEmpty is returned for a CSV with no event rows.
+	ErrCSVEmpty = errors.New("logio: CSV contains no events")
+)
+
+// csvEvent is one parsed row.
+type csvEvent struct {
+	caseID   string
+	activity string
+	timeKey  string
+	attrs    wlog.AttrMap
+	fileOrd  int
+}
+
+// ImportCSV reads a headered CSV event log and assembles a valid workflow
+// log: events are ordered (by TimeColumn, then file order), grouped into
+// cases in first-appearance order, and prefixed with synthesized START
+// records. Data columns other than case/activity/time become αout
+// attributes (values parsed with wlog.ParseValue semantics).
+func ImportCSV(r io.Reader, opts CSVOptions) (*wlog.Log, error) {
+	opts.normalize()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated against the header below
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("logio: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[strings.TrimSpace(name)] = i
+	}
+	caseIdx, ok := col[opts.CaseColumn]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrCSVHeader, opts.CaseColumn)
+	}
+	actIdx, ok := col[opts.ActivityColumn]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrCSVHeader, opts.ActivityColumn)
+	}
+	timeIdx := -1
+	if opts.TimeColumn != "" {
+		timeIdx, ok = col[opts.TimeColumn]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrCSVHeader, opts.TimeColumn)
+		}
+	}
+
+	var events []csvEvent
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("logio: CSV line %d: %w", line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("logio: CSV line %d: %d fields, header has %d",
+				line, len(row), len(header))
+		}
+		ev := csvEvent{
+			caseID:   strings.TrimSpace(row[caseIdx]),
+			activity: strings.TrimSpace(row[actIdx]),
+			fileOrd:  line,
+		}
+		if ev.caseID == "" || ev.activity == "" {
+			return nil, fmt.Errorf("logio: CSV line %d: empty case id or activity", line)
+		}
+		if ev.activity == wlog.ActivityStart || ev.activity == wlog.ActivityEnd {
+			return nil, fmt.Errorf("logio: CSV line %d: reserved activity %q", line, ev.activity)
+		}
+		attrs := wlog.AttrMap{}
+		for i, cell := range row {
+			if i == caseIdx || i == actIdx {
+				continue
+			}
+			name := strings.TrimSpace(header[i])
+			if i == timeIdx {
+				ev.timeKey = strings.TrimSpace(cell)
+				name = "time"
+			}
+			if strings.TrimSpace(cell) == "" {
+				continue
+			}
+			v, err := wlog.ParseValue(strings.TrimSpace(cell))
+			if err != nil {
+				return nil, fmt.Errorf("logio: CSV line %d column %q: %w", line, name, err)
+			}
+			attrs[name] = v
+		}
+		if len(attrs) > 0 {
+			ev.attrs = attrs
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, ErrCSVEmpty
+	}
+
+	if timeIdx >= 0 {
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].timeKey != events[j].timeKey {
+				return events[i].timeKey < events[j].timeKey
+			}
+			return events[i].fileOrd < events[j].fileOrd
+		})
+	}
+
+	var b wlog.Builder
+	wids := make(map[string]uint64)
+	for _, ev := range events {
+		wid, ok := wids[ev.caseID]
+		if !ok {
+			wid = b.Start()
+			wids[ev.caseID] = wid
+		}
+		if err := b.Emit(wid, ev.activity, nil, ev.attrs); err != nil {
+			return nil, fmt.Errorf("logio: case %q: %w", ev.caseID, err)
+		}
+	}
+	if opts.CompleteCases {
+		// End in wid order for deterministic output.
+		ids := make([]uint64, 0, len(wids))
+		for _, wid := range wids {
+			ids = append(ids, wid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, wid := range ids {
+			if err := b.End(wid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ExportCSV writes the log as a headered CSV event log with columns
+// case, activity, and one column per attribute name appearing in any αout
+// map (sorted). START/END records are skipped (they are workflow-log
+// bookkeeping, not events). αin maps are not exported: an event-log row
+// conventionally records what the event produced.
+func ExportCSV(w io.Writer, l *wlog.Log) error {
+	attrSet := make(map[string]struct{})
+	for _, r := range l.Records() {
+		for name := range r.Out {
+			attrSet[name] = struct{}{}
+		}
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for name := range attrSet {
+		attrs = append(attrs, name)
+	}
+	sort.Strings(attrs)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"case", "activity"}, attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range l.Records() {
+		if r.IsStart() || r.IsEnd() {
+			continue
+		}
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprint(r.WID), r.Activity)
+		for _, name := range attrs {
+			if r.Out.Has(name) {
+				row = append(row, r.Out.Get(name).String())
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

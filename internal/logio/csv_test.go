@@ -1,0 +1,189 @@
+package logio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"wlq/internal/wlog"
+)
+
+const sampleCSV = `case,activity,when,amount
+o-1,Pay,2017-01-02T10:00:00Z,120
+o-2,Pack,2017-01-02T09:00:00Z,
+o-1,Ship,2017-01-03T08:00:00Z,
+o-2,Ship,2017-01-02T11:00:00Z,
+o-2,Pay,2017-01-04T12:00:00Z,80
+`
+
+func TestImportCSVBasics(t *testing.T) {
+	l, err := ImportCSV(strings.NewReader(sampleCSV), CSVOptions{TimeColumn: "when"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("imported log invalid: %v", err)
+	}
+	if got := len(l.WIDs()); got != 2 {
+		t.Fatalf("cases = %d, want 2", got)
+	}
+
+	// Time ordering: o-2's Pack (09:00) precedes o-1's Pay (10:00), so case
+	// o-2 appears first and receives wid 1.
+	inst1 := l.Instance(1)
+	if inst1[1].Activity != "Pack" {
+		t.Errorf("wid 1 first event = %q, want Pack", inst1[1].Activity)
+	}
+	inst2 := l.Instance(2)
+	if inst2[1].Activity != "Pay" {
+		t.Errorf("wid 2 first event = %q, want Pay", inst2[1].Activity)
+	}
+
+	// o-2's Ship (11:00) must precede o-2's Pay (12:00) despite file order.
+	acts := []string{}
+	for _, r := range inst1[1:] {
+		acts = append(acts, r.Activity)
+	}
+	if strings.Join(acts, ",") != "Pack,Ship,Pay" {
+		t.Errorf("wid 1 trace = %v", acts)
+	}
+
+	// Attribute columns land in αout; the time column is stored as "time".
+	if got := inst2[1].Out.Get("amount"); !got.Equal(wlog.Int(120)) {
+		t.Errorf("amount = %v", got)
+	}
+	if got := inst2[1].Out.Get("time"); got.IsUndefined() {
+		t.Error("time attribute missing")
+	}
+	// No END records without CompleteCases.
+	for _, wid := range l.WIDs() {
+		if l.InstanceComplete(wid) {
+			t.Errorf("wid %d unexpectedly complete", wid)
+		}
+	}
+}
+
+func TestImportCSVCompleteCases(t *testing.T) {
+	l, err := ImportCSV(strings.NewReader(sampleCSV), CSVOptions{
+		TimeColumn: "when", CompleteCases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wid := range l.WIDs() {
+		if !l.InstanceComplete(wid) {
+			t.Errorf("wid %d incomplete despite CompleteCases", wid)
+		}
+	}
+}
+
+func TestImportCSVFileOrderWithoutTime(t *testing.T) {
+	l, err := ImportCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a time column, file order rules: o-1 appears first.
+	inst1 := l.Instance(1)
+	if inst1[1].Activity != "Pay" {
+		t.Errorf("wid 1 first event = %q, want Pay (file order)", inst1[1].Activity)
+	}
+}
+
+func TestImportCSVCustomColumns(t *testing.T) {
+	csv := "id,task\n7,Hello\n7,Bye\n"
+	l, err := ImportCSV(strings.NewReader(csv), CSVOptions{
+		CaseColumn: "id", ActivityColumn: "task",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := l.Instance(1)
+	if len(inst) != 3 || inst[1].Activity != "Hello" || inst[2].Activity != "Bye" {
+		t.Errorf("instance = %v", inst)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		csv  string
+		opts CSVOptions
+		want error
+	}{
+		{"missing case column", "activity\nA\n", CSVOptions{}, ErrCSVHeader},
+		{"missing activity column", "case\n1\n", CSVOptions{}, ErrCSVHeader},
+		{"missing time column", "case,activity\n1,A\n", CSVOptions{TimeColumn: "t"}, ErrCSVHeader},
+		{"no events", "case,activity\n", CSVOptions{}, ErrCSVEmpty},
+		{"empty case id", "case,activity\n,A\n", CSVOptions{}, nil},
+		{"empty activity", "case,activity\n1,\n", CSVOptions{}, nil},
+		{"reserved activity", "case,activity\n1,START\n", CSVOptions{}, nil},
+		{"ragged row", "case,activity\n1,A,extra\n", CSVOptions{}, nil},
+		{"empty input", "", CSVOptions{}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ImportCSV(strings.NewReader(tt.csv), tt.opts)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	// Build a log, export to CSV, re-import, and check the activity
+	// sequences per instance survive (attributes in αout too).
+	var b wlog.Builder
+	w1 := b.Start()
+	w2 := b.Start()
+	steps := []struct {
+		wid uint64
+		act string
+		out wlog.AttrMap
+	}{
+		{w1, "Pay", wlog.Attrs("amount", 120)},
+		{w2, "Pack", nil},
+		{w1, "Ship", wlog.Attrs("carrier", "ACME Lines")},
+		{w2, "Ship", nil},
+	}
+	for _, s := range steps {
+		if err := b.Emit(s.wid, s.act, nil, s.out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportCSV(&buf, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wid := range orig.WIDs() {
+		var want, got []string
+		for _, r := range orig.Instance(wid) {
+			if !r.IsStart() && !r.IsEnd() {
+				want = append(want, r.Activity)
+			}
+		}
+		for _, r := range back.Instance(wid) {
+			if !r.IsStart() && !r.IsEnd() {
+				got = append(got, r.Activity)
+			}
+		}
+		if strings.Join(want, ",") != strings.Join(got, ",") {
+			t.Errorf("wid %d: trace %v != %v", wid, got, want)
+		}
+	}
+	// Attribute with a space survives quoting.
+	rec := back.Instance(1)[2]
+	if got := rec.Out.Get("carrier"); !got.Equal(wlog.String("ACME Lines")) {
+		t.Errorf("carrier = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package logio
+
+import (
+	"strings"
+	"testing"
+
+	"wlq/internal/wlog"
+)
+
+// FuzzDecodeText checks the text-format reader never panics on arbitrary
+// bytes and that any log it accepts satisfies Definition 2 and re-encodes
+// to an equal log.
+func FuzzDecodeText(f *testing.F) {
+	seeds := []string{
+		"1\t1\t1\tSTART\t-\t-\n",
+		"1\t1\t1\tSTART\t-\t-\n2\t1\t2\tA\tx=1\ty=\"a;b\"\n",
+		"# comment\n\n1\t1\t1\tSTART\t-\t-\n",
+		"1\t1\t1\tSTART\t-\n",                       // missing field
+		"x\t1\t1\tSTART\t-\t-\n",                    // bad lsn
+		"1\t1\t1\tSTART\ta=\"\t-\n",                 // broken quote
+		"1\t1\t1\tA\t-\t-\n",                        // invalid log (no START)
+		"1\t1\t1\tSTART\t-\t-\r\n",                  // CRLF
+		strings.Repeat("1\t1\t1\tSTART\t-\t-\n", 3), // duplicate lsn
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Decode(strings.NewReader(input), FormatText)
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid log: %v", verr)
+		}
+		var sb strings.Builder
+		if err := Encode(&sb, l, FormatText); err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		back, err := Decode(strings.NewReader(sb.String()), FormatText)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if !l.Equal(back) {
+			t.Fatal("text round trip changed the log")
+		}
+	})
+}
+
+// FuzzDecodeJSONL is the same property for the JSONL codec.
+func FuzzDecodeJSONL(f *testing.F) {
+	seeds := []string{
+		`{"lsn":1,"wid":1,"seq":1,"act":"START"}` + "\n",
+		`{"lsn":1,"wid":1,"seq":1,"act":"START"}` + "\n" +
+			`{"lsn":2,"wid":1,"seq":2,"act":"A","out":{"x":"1"}}` + "\n",
+		`{not json}`,
+		`{"lsn":0}`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Decode(strings.NewReader(input), FormatJSONL)
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid log: %v", verr)
+		}
+		var sb strings.Builder
+		if err := Encode(&sb, l, FormatJSONL); err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		back, err := Decode(strings.NewReader(sb.String()), FormatJSONL)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if !l.Equal(back) {
+			t.Fatal("jsonl round trip changed the log")
+		}
+	})
+}
+
+// FuzzParseValue checks value parsing never panics and that parsing is
+// total for the printed form of what it accepts.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"_|_", "123", "-4.5", "true", `"quoted"`, "bare", `"\x"`, `"`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := wlog.ParseValue(input)
+		if err != nil {
+			return
+		}
+		back, err := wlog.ParseValue(v.String())
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not re-parse: %v", v.String(), input, err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("value round trip changed: %q -> %v -> %v", input, v, back)
+		}
+	})
+}

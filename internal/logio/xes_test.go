@@ -1,0 +1,145 @@
+package logio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wlq/internal/wlog"
+)
+
+const sampleXES = `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <string key="concept:name" value="orders"/>
+  <trace>
+    <string key="concept:name" value="o-1"/>
+    <event>
+      <string key="concept:name" value="Pay"/>
+      <int key="amount" value="120"/>
+      <date key="time:timestamp" value="2017-01-02T10:00:00Z"/>
+    </event>
+    <event>
+      <string key="concept:name" value="Ship"/>
+      <boolean key="express" value="true"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="o-2"/>
+    <event>
+      <string key="concept:name" value="Ship"/>
+    </event>
+    <event>
+      <string key="concept:name" value="Pay"/>
+      <float key="amount" value="79.5"/>
+    </event>
+  </trace>
+</log>`
+
+func TestImportXESBasics(t *testing.T) {
+	l, err := ImportXES(strings.NewReader(sampleXES), XESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("imported log invalid: %v", err)
+	}
+	if got := len(l.WIDs()); got != 2 {
+		t.Fatalf("instances = %d, want 2", got)
+	}
+
+	inst1 := l.Instance(1)
+	if len(inst1) != 3 || inst1[1].Activity != "Pay" || inst1[2].Activity != "Ship" {
+		t.Errorf("trace 1 = %v", inst1)
+	}
+	// Typed attributes preserved.
+	if got := inst1[1].Out.Get("amount"); !got.Equal(wlog.Int(120)) {
+		t.Errorf("amount = %v", got)
+	}
+	if got, ok := inst1[1].Out.Get("time:timestamp").Str(); !ok || !strings.HasPrefix(got, "2017") {
+		t.Errorf("timestamp = %v", inst1[1].Out.Get("time:timestamp"))
+	}
+	if got := inst1[2].Out.Get("express"); !got.Equal(wlog.Bool(true)) {
+		t.Errorf("express = %v", got)
+	}
+	inst2 := l.Instance(2)
+	if got := inst2[2].Out.Get("amount"); !got.Equal(wlog.Float(79.5)) {
+		t.Errorf("float amount = %v", got)
+	}
+	// Default mode interleaves round-robin: records of wid 1 and 2 alternate.
+	if l.Record(2).WID == l.Record(3).WID {
+		t.Errorf("expected interleaving, got %v then %v", l.Record(2), l.Record(3))
+	}
+}
+
+func TestImportXESSerialAndComplete(t *testing.T) {
+	l, err := ImportXES(strings.NewReader(sampleXES), XESOptions{Serial: true, CompleteCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wid := range l.WIDs() {
+		if !l.InstanceComplete(wid) {
+			t.Errorf("wid %d incomplete", wid)
+		}
+	}
+	// Serial: wid 1's records all precede wid 2's.
+	maxW1, minW2 := uint64(0), uint64(1<<62)
+	for _, r := range l.Records() {
+		if r.WID == 1 && r.LSN > maxW1 {
+			maxW1 = r.LSN
+		}
+		if r.WID == 2 && r.LSN < minW2 {
+			minW2 = r.LSN
+		}
+	}
+	if maxW1 > minW2 {
+		t.Error("serial mode interleaved traces")
+	}
+}
+
+func TestImportXESErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		xes  string
+		want error
+	}{
+		{"not xml", "not xml at all <", nil},
+		{"no traces", `<log></log>`, ErrXESNoTraces},
+		{"empty traces", `<log><trace></trace></log>`, ErrXESNoTraces},
+		{
+			"event without name",
+			`<log><trace><event><string key="x" value="y"/></event></trace></log>`,
+			ErrXESEventName,
+		},
+		{
+			"reserved activity",
+			`<log><trace><event><string key="concept:name" value="START"/></event></trace></log>`,
+			nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ImportXES(strings.NewReader(tt.xes), XESOptions{})
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestImportXESBadTypedValueFallsBack(t *testing.T) {
+	xes := `<log><trace><event>
+		<string key="concept:name" value="A"/>
+		<int key="n" value="not-a-number"/>
+	</event></trace></log>`
+	l, err := ImportXES(strings.NewReader(xes), XESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.Instance(1)[1].Out.Get("n")
+	if s, ok := got.Str(); !ok || s != "not-a-number" {
+		t.Errorf("bad int fell back to %v", got)
+	}
+}

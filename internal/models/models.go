@@ -1,0 +1,266 @@
+// Package models is a library of ready-made workflow models for examples,
+// tests and benchmarks: an order-fulfillment process, a loan-application
+// process, and a helpdesk-ticket process. Each model carries realistic data
+// effects and — deliberately — one or more low-probability compliance bugs
+// ("planted anomalies") with documented rates, so incident-pattern queries
+// have measurable ground truth to detect, in the spirit of the paper's
+// fraud-detection outlook (Section 6).
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wlq/internal/enact"
+	"wlq/internal/wlog"
+	"wlq/internal/workflow"
+)
+
+// Anomaly documents a planted compliance bug and the query that finds it.
+type Anomaly struct {
+	// Name describes the violated rule.
+	Name string
+	// Query is an incident-pattern query matching offending instances.
+	Query string
+	// Rate is the approximate fraction of instances that are planted
+	// offenders (per the XOR weights in the model).
+	Rate float64
+}
+
+// Catalog pairs a model with its planted anomalies and its clean reference.
+type Catalog struct {
+	// Model is the process as it actually runs, planted bugs included.
+	Model *workflow.Model
+	// Reference is the process as it should run: the same model with every
+	// planted branch removed. Deriving compliance rules from Reference (see
+	// internal/audit) flags exactly the instances that exercised a plant.
+	Reference *workflow.Model
+	Anomalies []Anomaly
+}
+
+// Generate enacts the catalog's model.
+func (c Catalog) Generate(instances int, seed int64) (*wlog.Log, error) {
+	return enact.Run(c.Model, enact.Config{
+		Instances: instances,
+		Seed:      seed,
+		Policy:    enact.PolicyBursty,
+	})
+}
+
+func task(name string) workflow.Task { return workflow.Task{Name: name} }
+
+// Orders returns the order-fulfillment process:
+//
+//	Receive → Validate → (FraudCheck | skip†) → (Pick→Pack ∥ Invoice)
+//	→ Ship → (Close | Return→Refund→Close)
+//
+// † ~5% of orders bypass the fraud check (the planted anomaly).
+func Orders() Catalog {
+	build := func(planted bool) *workflow.Model {
+		receive := workflow.Task{
+			Name: "Receive",
+			Effect: func(_ wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+				return nil, wlog.Attrs(
+					"amount", int64(10*(1+rng.Intn(500))),
+					"express", rng.Intn(4) == 0,
+				)
+			},
+		}
+		fraud := workflow.Step(task("FraudCheck"))
+		if planted {
+			fraud = workflow.XOR{Branches: []workflow.Branch{
+				{Weight: 19, Step: task("FraudCheck")},
+				{Weight: 1, Step: nil}, // planted: unchecked shipment
+			}}
+		}
+		return &workflow.Model{
+			Name: "order-fulfillment",
+			Root: workflow.Sequence{
+				receive,
+				task("Validate"),
+				fraud,
+				workflow.AND{Branches: []workflow.Step{
+					workflow.Sequence{task("Pick"), task("Pack")},
+					task("Invoice"),
+				}},
+				task("Ship"),
+				workflow.XOR{Branches: []workflow.Branch{
+					{Weight: 9, Step: task("Close")},
+					{Weight: 1, Step: workflow.Sequence{task("Return"), task("Refund"), task("Close")}},
+				}},
+			},
+		}
+	}
+	return Catalog{
+		Model:     build(true),
+		Reference: build(false),
+		Anomalies: []Anomaly{{
+			Name:  "shipment without fraud check",
+			Query: "Validate . !FraudCheck & Ship",
+			Rate:  0.05,
+		}},
+	}
+}
+
+// Loans returns the loan-application process:
+//
+//	Apply → ScoreCredit → (RequestDocs → ReceiveDocs)* →
+//	(Approve → (Disburse | Disburse→Disburse†) | Reject) → Archive
+//
+// † ~2% of approved loans are disbursed twice (the planted anomaly), and a
+// separate ~4% are rejected yet still disbursed.
+func Loans() Catalog {
+	apply := workflow.Task{
+		Name: "Apply",
+		Effect: func(_ wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+			return nil, wlog.Attrs(
+				"principal", int64(1000*(5+rng.Intn(95))),
+				"term", int64(12*(1+rng.Intn(5))),
+			)
+		},
+	}
+	score := workflow.Task{
+		Name: "ScoreCredit",
+		Effect: func(state wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+			return wlog.Attrs("principal", state.Get("principal")),
+				wlog.Attrs("score", int64(300+rng.Intn(550)))
+		},
+	}
+	disburse := workflow.Task{
+		Name: "Disburse",
+		Effect: func(state wlog.AttrMap, _ *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+			return wlog.Attrs("principal", state.Get("principal")), nil
+		},
+	}
+	build := func(planted bool) *workflow.Model {
+		var decision workflow.Step
+		if planted {
+			decision = workflow.XOR{Branches: []workflow.Branch{
+				{Weight: 70, Step: workflow.Sequence{
+					task("Approve"),
+					workflow.XOR{Branches: []workflow.Branch{
+						{Weight: 49, Step: disburse},
+						// Planted: double disbursement.
+						{Weight: 1, Step: workflow.Sequence{disburse, disburse}},
+					}},
+				}},
+				{Weight: 26, Step: task("Reject")},
+				// Planted: rejected but disbursed anyway.
+				{Weight: 4, Step: workflow.Sequence{task("Reject"), disburse}},
+			}}
+		} else {
+			decision = workflow.XOR{Branches: []workflow.Branch{
+				{Weight: 70, Step: workflow.Sequence{task("Approve"), disburse}},
+				{Weight: 30, Step: task("Reject")},
+			}}
+		}
+		return &workflow.Model{
+			Name: "loan-application",
+			Root: workflow.Sequence{
+				apply,
+				score,
+				workflow.Loop{
+					Body:         workflow.Sequence{task("RequestDocs"), task("ReceiveDocs")},
+					ContinueProb: 0.3,
+					MaxIter:      3,
+				},
+				decision,
+				task("Archive"),
+			},
+		}
+	}
+	return Catalog{
+		Model:     build(true),
+		Reference: build(false),
+		Anomalies: []Anomaly{
+			{
+				Name:  "double disbursement",
+				Query: "Disburse -> Disburse",
+				Rate:  0.02 * 0.7, // within the approve branch
+			},
+			{
+				Name:  "disbursement after rejection",
+				Query: "Reject -> Disburse",
+				Rate:  0.04,
+			},
+		},
+	}
+}
+
+// Helpdesk returns the ticket-handling process:
+//
+//	Open → Triage → (Assign → Work → (Escalate → Work)?)* → Resolve →
+//	(Confirm | Reopen→Assign→Work→Resolve→Confirm) → Close†
+//
+// † ~3% of tickets close without a Resolve ever confirming (the planted
+// anomaly: Close with no prior Confirm).
+func Helpdesk() Catalog {
+	open := workflow.Task{
+		Name: "Open",
+		Effect: func(_ wlog.AttrMap, rng *rand.Rand) (wlog.AttrMap, wlog.AttrMap) {
+			severities := []string{"low", "medium", "high", "critical"}
+			return nil, wlog.Attrs(
+				"severity", severities[rng.Intn(len(severities))],
+				"channel", []string{"email", "phone", "portal"}[rng.Intn(3)],
+			)
+		},
+	}
+	workCycle := workflow.Sequence{
+		task("Assign"),
+		task("Work"),
+		workflow.XOR{Branches: []workflow.Branch{
+			{Weight: 3, Step: nil},
+			{Weight: 1, Step: workflow.Sequence{task("Escalate"), task("Work")}},
+		}},
+	}
+	build := func(planted bool) *workflow.Model {
+		branches := []workflow.Branch{
+			{Weight: 77, Step: task("Confirm")},
+			{Weight: 20, Step: workflow.Sequence{
+				task("Reopen"), task("Assign"), task("Work"), task("Resolve"), task("Confirm"),
+			}},
+		}
+		if planted {
+			// Planted: closed without confirmation.
+			branches = append(branches, workflow.Branch{Weight: 3, Step: nil})
+		}
+		return &workflow.Model{
+			Name: "helpdesk",
+			Root: workflow.Sequence{
+				open,
+				task("Triage"),
+				workflow.Loop{Body: workCycle, ContinueProb: 0.35, MaxIter: 3},
+				task("Resolve"),
+				workflow.XOR{Branches: branches},
+				task("CloseTicket"),
+			},
+		}
+	}
+	return Catalog{
+		Model:     build(true),
+		Reference: build(false),
+		Anomalies: []Anomaly{{
+			Name:  "ticket closed without confirmation",
+			Query: "Resolve . CloseTicket",
+			Rate:  0.03,
+		}},
+	}
+}
+
+// All returns every catalog, keyed by a short name.
+func All() map[string]Catalog {
+	return map[string]Catalog{
+		"orders":   Orders(),
+		"loans":    Loans(),
+		"helpdesk": Helpdesk(),
+	}
+}
+
+// ByName returns the named catalog.
+func ByName(name string) (Catalog, error) {
+	c, ok := All()[name]
+	if !ok {
+		return Catalog{}, fmt.Errorf("models: unknown model %q", name)
+	}
+	return c, nil
+}

@@ -1,0 +1,199 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+)
+
+func TestCatalogInventory(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("catalogs = %d", len(all))
+	}
+	for name, c := range all {
+		if err := c.Model.Validate(); err != nil {
+			t.Errorf("%s: invalid model: %v", name, err)
+		}
+		if len(c.Anomalies) == 0 {
+			t.Errorf("%s: no planted anomalies", name)
+		}
+		for _, a := range c.Anomalies {
+			if _, err := pattern.Parse(a.Query); err != nil {
+				t.Errorf("%s/%s: bad query %q: %v", name, a.Name, a.Query, err)
+			}
+			if a.Rate <= 0 || a.Rate >= 0.2 {
+				t.Errorf("%s/%s: implausible planted rate %g", name, a.Name, a.Rate)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("orders"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope): want error")
+	}
+}
+
+// TestPlantedAnomalyRates generates each model at scale and checks every
+// anomaly occurs at roughly its documented rate (binomial tolerance).
+func TestPlantedAnomalyRates(t *testing.T) {
+	const instances = 4000
+	for name, c := range All() {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			l, err := c.Generate(instances, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("generated log invalid: %v", err)
+			}
+			ix := eval.NewIndex(l)
+			e := eval.New(ix, eval.Options{})
+			for _, a := range c.Anomalies {
+				p := pattern.MustParse(a.Query)
+				offenders := make(map[uint64]bool)
+				for _, inc := range e.Eval(p).Incidents() {
+					offenders[inc.WID()] = true
+				}
+				got := float64(len(offenders)) / instances
+				// Allow 4 binomial standard deviations plus 20% modeling
+				// slack (loop/XOR interactions perturb exact rates).
+				sd := math.Sqrt(a.Rate * (1 - a.Rate) / instances)
+				tol := 4*sd + 0.2*a.Rate
+				if math.Abs(got-a.Rate) > tol {
+					t.Errorf("%s: measured rate %.4f, documented %.4f (tol %.4f)",
+						a.Name, got, a.Rate, tol)
+				}
+				if len(offenders) == 0 {
+					t.Errorf("%s: no offenders in %d instances", a.Name, instances)
+				}
+			}
+		})
+	}
+}
+
+// TestOrdersProcessInvariants checks structural properties every clean
+// order must satisfy.
+func TestOrdersProcessInvariants(t *testing.T) {
+	c := Orders()
+	l, err := c.Generate(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+
+	ships := e.Eval(pattern.MustParse("Ship"))
+	if len(ships.WIDs()) != 500 {
+		t.Errorf("every order must ship; got %d", len(ships.WIDs()))
+	}
+	// Pick always precedes Pack within an instance.
+	if e.Exists(pattern.MustParse("Pack -> Pick")) {
+		t.Error("found Pack before Pick")
+	}
+	// Refund only in returned orders.
+	badRefund := e.Eval(pattern.MustParse("Refund"))
+	for _, inc := range badRefund.Incidents() {
+		returns := ix.ActivitySeqs(inc.WID(), "Return")
+		if len(returns) == 0 || returns[0] > inc.First() {
+			t.Errorf("wid %d: refund without prior return", inc.WID())
+		}
+	}
+}
+
+// TestLoansDisbursementInvariant: every clean approval disburses exactly
+// once; rejections (except planted) never disburse.
+func TestLoansDisbursementInvariant(t *testing.T) {
+	c := Loans()
+	l, err := c.Generate(800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+
+	approvals := e.Eval(pattern.MustParse("Approve"))
+	for _, inc := range approvals.Incidents() {
+		if n := len(ix.ActivitySeqs(inc.WID(), "Disburse")); n < 1 || n > 2 {
+			t.Errorf("wid %d: approved with %d disbursements", inc.WID(), n)
+		}
+	}
+	// An instance never both approves and rejects.
+	if e.Exists(pattern.MustParse("Approve & Reject")) {
+		t.Error("an instance both approved and rejected")
+	}
+}
+
+// TestHelpdeskConfirmInvariant: outside the planted branch, CloseTicket is
+// always preceded by Confirm.
+func TestHelpdeskConfirmInvariant(t *testing.T) {
+	c := Helpdesk()
+	l, err := c.Generate(800, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eval.NewIndex(l)
+	e := eval.New(ix, eval.Options{})
+
+	planted := make(map[uint64]bool)
+	for _, inc := range e.Eval(pattern.MustParse(c.Anomalies[0].Query)).Incidents() {
+		planted[inc.WID()] = true
+	}
+	closes := e.Eval(pattern.MustParse("CloseTicket"))
+	for _, inc := range closes.Incidents() {
+		if planted[inc.WID()] {
+			continue
+		}
+		confirms := ix.ActivitySeqs(inc.WID(), "Confirm")
+		if len(confirms) == 0 {
+			t.Errorf("wid %d: closed without confirmation yet not flagged", inc.WID())
+		}
+	}
+	// Sanity: the verifier agrees an anomaly incident matches its pattern.
+	anoms := e.Eval(pattern.MustParse(c.Anomalies[0].Query))
+	if anoms.Len() > 0 {
+		var first incident.Incident = anoms.At(0)
+		if !e.Verify(pattern.MustParse(c.Anomalies[0].Query), first) {
+			t.Error("anomaly incident does not verify")
+		}
+	}
+}
+
+// TestGeneratedTracesConform: every enacted instance's activity trace is in
+// its model's language (complete instances as full words, in-flight ones as
+// prefixes).
+func TestGeneratedTracesConform(t *testing.T) {
+	for name, c := range All() {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			l, err := c.Generate(300, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, wid := range l.WIDs() {
+				var trace []string
+				for _, r := range l.Instance(wid) {
+					if r.IsStart() || r.IsEnd() {
+						continue
+					}
+					trace = append(trace, r.Activity)
+				}
+				if l.InstanceComplete(wid) {
+					if !c.Model.Accepts(trace) {
+						t.Fatalf("wid %d: complete trace %v rejected", wid, trace)
+					}
+				} else if !c.Model.AcceptsPrefix(trace) {
+					t.Fatalf("wid %d: prefix %v rejected", wid, trace)
+				}
+			}
+		})
+	}
+}

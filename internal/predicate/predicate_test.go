@@ -1,0 +1,161 @@
+package predicate
+
+import (
+	"errors"
+	"testing"
+
+	"wlq/internal/wlog"
+)
+
+func sampleRecord() wlog.Record {
+	return wlog.Record{
+		LSN: 4, WID: 1, Seq: 3, Activity: "CheckIn",
+		In:  wlog.Attrs("referId", "034d1", "referState", "start", "balance", 1000),
+		Out: wlog.Attrs("referState", "active"),
+	}
+}
+
+func TestGuardMatch(t *testing.T) {
+	r := sampleRecord()
+	tests := []struct {
+		name  string
+		guard string
+		want  bool
+	}{
+		{"gt true", "balance>500", true},
+		{"gt false", "balance>5000", false},
+		{"ge boundary", "balance>=1000", true},
+		{"lt", "balance<1001", true},
+		{"le boundary", "balance<=999", false},
+		{"eq string", "referId=034d1", true},
+		{"ne string", "referId!=xyz", true},
+		{"eq cross-kind numeric", "balance=1000.0", true},
+		{"missing attribute fails", "ghost>1", false},
+		{"defined hit", "balance?", true},
+		{"defined miss", "ghost?", false},
+		{"side any prefers out", "referState=active", true},
+		{"side in sees old value", "in.referState=start", true},
+		{"side out", "out.referState=active", true},
+		{"side out misses read-only attr", "out.balance>0", false},
+		{"side in misses written-only value", "in.referState=active", false},
+		{"incomparable kinds fail", "referId>5", false},
+		{"ne on missing fails", "ghost!=5", false},
+		{"quoted value", `referId="034d1"`, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := Parse(tt.guard)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.guard, err)
+			}
+			if got := g.Match(r); got != tt.want {
+				t.Errorf("Match(%q) = %v, want %v", tt.guard, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", ">5", "balance", "balance>", "balance>=", "attr~5", "=5",
+		"in.=5", `balance="unterminated`,
+	}
+	for _, s := range bad {
+		t.Run(s, func(t *testing.T) {
+			if _, err := Parse(s); !errors.Is(err, ErrMalformedGuard) {
+				t.Errorf("Parse(%q) = %v, want ErrMalformedGuard", s, err)
+			}
+		})
+	}
+}
+
+func TestGuardStringRoundTrip(t *testing.T) {
+	guards := []string{
+		"balance>5000",
+		"in.referState=start",
+		"out.amount<=100.5",
+		`hospital!="Public Hospital"`,
+		"receipt1?",
+		"in.x<1",
+		"out.y>=2",
+	}
+	for _, s := range guards {
+		t.Run(s, func(t *testing.T) {
+			g, err := Parse(s)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			back, err := Parse(g.String())
+			if err != nil {
+				t.Fatalf("re-Parse(%q): %v", g.String(), err)
+			}
+			if !g.Equal(back) {
+				t.Errorf("round trip: %q -> %q -> %q", s, g.String(), back.String())
+			}
+		})
+	}
+}
+
+func TestGuardEqual(t *testing.T) {
+	g1, _ := Parse("balance>5000")
+	g2, _ := Parse("balance>5000")
+	g3, _ := Parse("balance>5001")
+	g4, _ := Parse("in.balance>5000")
+	g5, _ := Parse("balance>=5000")
+	if !g1.Equal(g2) {
+		t.Error("identical guards not Equal")
+	}
+	for i, other := range []Guard{g3, g4, g5} {
+		if g1.Equal(other) {
+			t.Errorf("case %d: distinct guards Equal", i)
+		}
+	}
+	// Zero side equals explicit SideAny.
+	zero := Guard{Attr: "x", Op: OpDefined}
+	explicit := Guard{Side: SideAny, Attr: "x", Op: OpDefined}
+	if !zero.Equal(explicit) {
+		t.Error("zero Side should equal SideAny")
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	r := sampleRecord()
+	g1, _ := Parse("balance>500")
+	g2, _ := Parse("referState=active")
+	g3, _ := Parse("balance>99999")
+	if !MatchAll(nil, r) {
+		t.Error("empty guard list must match")
+	}
+	if !MatchAll([]Guard{g1, g2}, r) {
+		t.Error("all-true guards should match")
+	}
+	if MatchAll([]Guard{g1, g3}, r) {
+		t.Error("one failing guard should reject")
+	}
+}
+
+func TestEqualSlices(t *testing.T) {
+	g1, _ := Parse("a>1")
+	g2, _ := Parse("b<2")
+	if !EqualSlices(nil, nil) || !EqualSlices([]Guard{g1}, []Guard{g1}) {
+		t.Error("equal slices reported unequal")
+	}
+	if EqualSlices([]Guard{g1}, []Guard{g2}) || EqualSlices([]Guard{g1}, nil) {
+		t.Error("unequal slices reported equal")
+	}
+	if EqualSlices([]Guard{g1, g2}, []Guard{g2, g1}) {
+		t.Error("order must matter")
+	}
+}
+
+func TestOpAndSideStrings(t *testing.T) {
+	ops := map[Op]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpDefined: "?"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op %d String = %q, want %q", op, op.String(), want)
+		}
+	}
+	if SideIn.String() != "in." || SideOut.String() != "out." || SideAny.String() != "" {
+		t.Error("Side.String wrong")
+	}
+}

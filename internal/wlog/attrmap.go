@@ -1,0 +1,126 @@
+package wlog
+
+import (
+	"sort"
+	"strings"
+)
+
+// AttrMap is the paper's "map": a partial mapping from attribute names A to
+// values in D with a finite domain (Section 2). A nil AttrMap is a valid
+// empty map, matching the "-" entries of Figure 3.
+type AttrMap map[string]Value
+
+// Attrs builds an AttrMap from alternating name/value pairs given as
+// name1, v1, name2, v2, ... It panics if an odd number of arguments is
+// supplied; it exists for terse test and example construction.
+func Attrs(pairs ...any) AttrMap {
+	if len(pairs)%2 != 0 {
+		panic("wlog.Attrs: odd number of arguments")
+	}
+	m := make(AttrMap, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic("wlog.Attrs: attribute name must be a string")
+		}
+		switch v := pairs[i+1].(type) {
+		case Value:
+			m[name] = v
+		case string:
+			m[name] = String(v)
+		case int:
+			m[name] = Int(int64(v))
+		case int64:
+			m[name] = Int(v)
+		case float64:
+			m[name] = Float(v)
+		case bool:
+			m[name] = Bool(v)
+		default:
+			panic("wlog.Attrs: unsupported value type")
+		}
+	}
+	return m
+}
+
+// Get returns the value bound to name, or ⊥ when the map does not define it.
+func (m AttrMap) Get(name string) Value {
+	if v, ok := m[name]; ok {
+		return v
+	}
+	return Undefined()
+}
+
+// Has reports whether the map defines name (even if its value is ⊥).
+func (m AttrMap) Has(name string) bool {
+	_, ok := m[name]
+	return ok
+}
+
+// Names returns the defined attribute names in sorted order.
+func (m AttrMap) Names() []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns an independent copy of the map. Cloning nil yields nil.
+func (m AttrMap) Clone() AttrMap {
+	if m == nil {
+		return nil
+	}
+	out := make(AttrMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two maps define the same attributes with equal
+// values. nil and the empty map are equal.
+func (m AttrMap) Equal(other AttrMap) bool {
+	if len(m) != len(other) {
+		return false
+	}
+	for k, v := range m {
+		w, ok := other[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns a new map containing m overlaid with overrides; attributes
+// in overrides win. Neither input is modified.
+func (m AttrMap) Merge(overrides AttrMap) AttrMap {
+	out := m.Clone()
+	if out == nil {
+		out = make(AttrMap, len(overrides))
+	}
+	for k, v := range overrides {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the map as "a=1, b=x" with attributes in sorted order, or
+// "-" for an empty map, mirroring the presentation of Figure 3.
+func (m AttrMap) String() string {
+	if len(m) == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	for i, name := range m.Names() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(name)
+		sb.WriteByte('=')
+		sb.WriteString(m[name].String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package wlog
+
+import (
+	"testing"
+)
+
+func TestAttrsConstructor(t *testing.T) {
+	m := Attrs("s", "str", "i", 1, "i64", int64(2), "f", 1.5, "b", true, "v", Int(9))
+	checks := []struct {
+		name string
+		want Value
+	}{
+		{"s", String("str")},
+		{"i", Int(1)},
+		{"i64", Int(2)},
+		{"f", Float(1.5)},
+		{"b", Bool(true)},
+		{"v", Int(9)},
+	}
+	for _, c := range checks {
+		if got := m.Get(c.name); !got.Equal(c.want) {
+			t.Errorf("Get(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAttrsPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"odd arguments", func() { Attrs("a") }},
+		{"non-string name", func() { Attrs(1, 2) }},
+		{"unsupported value", func() { Attrs("a", struct{}{}) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestAttrMapGetHas(t *testing.T) {
+	m := Attrs("x", 1)
+	if !m.Has("x") || m.Has("y") {
+		t.Error("Has wrong")
+	}
+	if got := m.Get("y"); !got.IsUndefined() {
+		t.Errorf("Get on missing = %v, want undefined", got)
+	}
+	var nilMap AttrMap
+	if !nilMap.Get("x").IsUndefined() || nilMap.Has("x") {
+		t.Error("nil map should behave as empty")
+	}
+}
+
+func TestAttrMapNames(t *testing.T) {
+	m := Attrs("c", 1, "a", 2, "b", 3)
+	names := m.Names()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAttrMapCloneIndependence(t *testing.T) {
+	m := Attrs("x", 1)
+	c := m.Clone()
+	c["x"] = Int(2)
+	if !m.Get("x").Equal(Int(1)) {
+		t.Error("Clone shares storage")
+	}
+	var nilMap AttrMap
+	if nilMap.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestAttrMapEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b AttrMap
+		want bool
+	}{
+		{"both nil", nil, nil, true},
+		{"nil vs empty", nil, AttrMap{}, true},
+		{"same", Attrs("x", 1), Attrs("x", 1), true},
+		{"cross-kind numeric", Attrs("x", 1), Attrs("x", 1.0), true},
+		{"different value", Attrs("x", 1), Attrs("x", 2), false},
+		{"different keys", Attrs("x", 1), Attrs("y", 1), false},
+		{"subset", Attrs("x", 1), Attrs("x", 1, "y", 2), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAttrMapMerge(t *testing.T) {
+	base := Attrs("x", 1, "y", 2)
+	over := Attrs("y", 20, "z", 30)
+	merged := base.Merge(over)
+	if !merged.Equal(Attrs("x", 1, "y", 20, "z", 30)) {
+		t.Errorf("Merge = %v", merged)
+	}
+	if !base.Equal(Attrs("x", 1, "y", 2)) {
+		t.Error("Merge mutated base")
+	}
+	var nilMap AttrMap
+	if got := nilMap.Merge(Attrs("a", 1)); !got.Equal(Attrs("a", 1)) {
+		t.Errorf("nil.Merge = %v", got)
+	}
+}
+
+func TestAttrMapString(t *testing.T) {
+	if got := (AttrMap{}).String(); got != "-" {
+		t.Errorf("empty map String() = %q, want -", got)
+	}
+	if got := Attrs("b", 2, "a", 1).String(); got != "a=1, b=2" {
+		t.Errorf("String() = %q, want sorted a=1, b=2", got)
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	start := Record{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart}
+	end := Record{LSN: 2, WID: 1, Seq: 2, Activity: ActivityEnd}
+	task := Record{LSN: 3, WID: 1, Seq: 3, Activity: "A", In: Attrs("x", 1)}
+	if !start.IsStart() || start.IsEnd() {
+		t.Error("IsStart/IsEnd wrong for START")
+	}
+	if !end.IsEnd() || end.IsStart() {
+		t.Error("IsStart/IsEnd wrong for END")
+	}
+
+	clone := task.Clone()
+	clone.In["x"] = Int(99)
+	if !task.In.Get("x").Equal(Int(1)) {
+		t.Error("Record.Clone shares attribute maps")
+	}
+
+	if !task.Equal(task.Clone()) {
+		t.Error("record not Equal to its clone")
+	}
+	other := task
+	other.Activity = "B"
+	if task.Equal(other) {
+		t.Error("records with different activities Equal")
+	}
+}

@@ -1,0 +1,139 @@
+package wlog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a valid Log incrementally. It assigns log sequence
+// numbers in emission order and instance-specific sequence numbers per
+// instance, and enforces the Definition 2 discipline as records are added
+// (so violations surface at the offending call, not at Build time).
+//
+// The zero Builder is ready to use.
+type Builder struct {
+	records []Record
+	nextSeq map[uint64]uint64 // wid -> next is-lsn (0 when instance unknown)
+	ended   map[uint64]bool
+	nextWID uint64
+}
+
+// Errors reported by Builder operations.
+var (
+	// ErrUnknownInstance is returned when emitting to a wid with no prior
+	// START record.
+	ErrUnknownInstance = errors.New("wlog: unknown workflow instance")
+	// ErrInstanceEnded is returned when emitting to a wid after its END.
+	ErrInstanceEnded = errors.New("wlog: workflow instance already ended")
+	// ErrDuplicateInstance is returned when starting a wid twice.
+	ErrDuplicateInstance = errors.New("wlog: workflow instance already started")
+	// ErrReservedActivity is returned when Emit is called with START or END.
+	ErrReservedActivity = errors.New("wlog: reserved activity name")
+)
+
+func (b *Builder) ensure() {
+	if b.nextSeq == nil {
+		b.nextSeq = make(map[uint64]uint64)
+		b.ended = make(map[uint64]bool)
+		b.nextWID = 1
+	}
+}
+
+// Start begins a new workflow instance with an automatically assigned wid,
+// emitting its START record, and returns the wid.
+func (b *Builder) Start() uint64 {
+	b.ensure()
+	for b.nextSeq[b.nextWID] != 0 {
+		b.nextWID++
+	}
+	wid := b.nextWID
+	b.nextWID++
+	if err := b.StartWID(wid); err != nil {
+		// Unreachable: the loop above guarantees wid is fresh.
+		panic(err)
+	}
+	return wid
+}
+
+// StartWID begins a workflow instance with a caller-chosen wid.
+func (b *Builder) StartWID(wid uint64) error {
+	b.ensure()
+	if b.nextSeq[wid] != 0 {
+		return fmt.Errorf("%w: wid=%d", ErrDuplicateInstance, wid)
+	}
+	b.records = append(b.records, Record{
+		LSN:      uint64(len(b.records) + 1),
+		WID:      wid,
+		Seq:      1,
+		Activity: ActivityStart,
+	})
+	b.nextSeq[wid] = 2
+	return nil
+}
+
+// Emit appends an activity record for the given instance. The activity name
+// must not be START or END; use Start/End for those.
+func (b *Builder) Emit(wid uint64, activity string, in, out AttrMap) error {
+	b.ensure()
+	if activity == ActivityStart || activity == ActivityEnd {
+		return fmt.Errorf("%w: %q", ErrReservedActivity, activity)
+	}
+	return b.emit(wid, activity, in, out)
+}
+
+// End appends the END record for the given instance; no further records may
+// be emitted for it.
+func (b *Builder) End(wid uint64) error {
+	b.ensure()
+	if err := b.emit(wid, ActivityEnd, nil, nil); err != nil {
+		return err
+	}
+	b.ended[wid] = true
+	return nil
+}
+
+func (b *Builder) emit(wid uint64, activity string, in, out AttrMap) error {
+	seq := b.nextSeq[wid]
+	if seq == 0 {
+		return fmt.Errorf("%w: wid=%d", ErrUnknownInstance, wid)
+	}
+	if b.ended[wid] {
+		return fmt.Errorf("%w: wid=%d", ErrInstanceEnded, wid)
+	}
+	b.records = append(b.records, Record{
+		LSN:      uint64(len(b.records) + 1),
+		WID:      wid,
+		Seq:      seq,
+		Activity: activity,
+		In:       in.Clone(),
+		Out:      out.Clone(),
+	})
+	b.nextSeq[wid] = seq + 1
+	return nil
+}
+
+// Len returns the number of records emitted so far.
+func (b *Builder) Len() int { return len(b.records) }
+
+// Active reports whether the instance has started and not yet ended.
+func (b *Builder) Active(wid uint64) bool {
+	b.ensure()
+	return b.nextSeq[wid] != 0 && !b.ended[wid]
+}
+
+// Build validates and returns the accumulated log. The Builder remains
+// usable: further emissions extend the same sequence, and a later Build
+// returns the longer log.
+func (b *Builder) Build() (*Log, error) {
+	return New(b.records)
+}
+
+// MustBuild is Build, panicking on error. Builder-produced record streams
+// satisfy Definition 2 by construction, so a panic indicates a bug.
+func (b *Builder) MustBuild() *Log {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

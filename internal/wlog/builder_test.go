@@ -1,0 +1,180 @@
+package wlog
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderHappyPath(t *testing.T) {
+	var b Builder
+	w1 := b.Start()
+	w2 := b.Start()
+	if w1 == w2 {
+		t.Fatalf("Start assigned duplicate wid %d", w1)
+	}
+	if err := b.Emit(w1, "A", nil, Attrs("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(w2, "B", Attrs("x", 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.End(w1); err != nil {
+		t.Fatal(err)
+	}
+	l := b.MustBuild()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("built log invalid: %v", err)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+	if !l.InstanceComplete(w1) || l.InstanceComplete(w2) {
+		t.Error("completion flags wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	var b Builder
+	w := b.Start()
+
+	if err := b.Emit(99, "A", nil, nil); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("Emit to unknown wid: %v, want ErrUnknownInstance", err)
+	}
+	if err := b.End(99); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("End of unknown wid: %v, want ErrUnknownInstance", err)
+	}
+	if err := b.Emit(w, ActivityStart, nil, nil); !errors.Is(err, ErrReservedActivity) {
+		t.Errorf("Emit START: %v, want ErrReservedActivity", err)
+	}
+	if err := b.Emit(w, ActivityEnd, nil, nil); !errors.Is(err, ErrReservedActivity) {
+		t.Errorf("Emit END: %v, want ErrReservedActivity", err)
+	}
+	if err := b.StartWID(w); !errors.Is(err, ErrDuplicateInstance) {
+		t.Errorf("StartWID duplicate: %v, want ErrDuplicateInstance", err)
+	}
+	if err := b.End(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(w, "A", nil, nil); !errors.Is(err, ErrInstanceEnded) {
+		t.Errorf("Emit after END: %v, want ErrInstanceEnded", err)
+	}
+	if err := b.End(w); !errors.Is(err, ErrInstanceEnded) {
+		t.Errorf("double End: %v, want ErrInstanceEnded", err)
+	}
+}
+
+func TestBuilderStartWIDInterplay(t *testing.T) {
+	var b Builder
+	if err := b.StartWID(5); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-assignment must skip the taken wid.
+	for i := 0; i < 6; i++ {
+		w := b.Start()
+		if w == 5 {
+			t.Fatal("Start reused explicitly started wid 5")
+		}
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestBuilderActive(t *testing.T) {
+	var b Builder
+	if b.Active(1) {
+		t.Error("Active before Start")
+	}
+	w := b.Start()
+	if !b.Active(w) {
+		t.Error("not Active after Start")
+	}
+	if err := b.End(w); err != nil {
+		t.Fatal(err)
+	}
+	if b.Active(w) {
+		t.Error("Active after End")
+	}
+}
+
+func TestBuilderIncrementalBuild(t *testing.T) {
+	var b Builder
+	w := b.Start()
+	l1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(w, "A", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Len() != 1 || l2.Len() != 2 {
+		t.Errorf("incremental Build lengths = %d, %d; want 1, 2", l1.Len(), l2.Len())
+	}
+}
+
+func TestBuilderClonesAttrMaps(t *testing.T) {
+	var b Builder
+	w := b.Start()
+	out := Attrs("x", 1)
+	if err := b.Emit(w, "A", nil, out); err != nil {
+		t.Fatal(err)
+	}
+	out["x"] = Int(999) // caller mutates after Emit
+	l := b.MustBuild()
+	if got := l.Record(1).Out.Get("x"); !got.Equal(Int(1)) {
+		t.Errorf("builder shared caller's map: x = %v", got)
+	}
+}
+
+// TestBuilderRandomOpsAlwaysValid drives the Builder with random operation
+// sequences: whatever succeeds must leave a Definition 2-valid log, and the
+// builder's errors must be exactly the documented sentinels.
+func TestBuilderRandomOpsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		var b Builder
+		var wids []uint64
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(5) {
+			case 0:
+				wids = append(wids, b.Start())
+			case 1:
+				if err := b.StartWID(uint64(rng.Intn(8) + 1)); err != nil {
+					if !errors.Is(err, ErrDuplicateInstance) {
+						t.Fatalf("StartWID: unexpected error %v", err)
+					}
+				} else {
+					// Track it so Emit/End below can hit it.
+					wids = append(wids, uint64(rng.Intn(8)+1))
+				}
+			case 2, 3:
+				wid := uint64(rng.Intn(10) + 1)
+				err := b.Emit(wid, "A", nil, nil)
+				if err != nil && !errors.Is(err, ErrUnknownInstance) && !errors.Is(err, ErrInstanceEnded) {
+					t.Fatalf("Emit: unexpected error %v", err)
+				}
+			case 4:
+				wid := uint64(rng.Intn(10) + 1)
+				err := b.End(wid)
+				if err != nil && !errors.Is(err, ErrUnknownInstance) && !errors.Is(err, ErrInstanceEnded) {
+					t.Fatalf("End: unexpected error %v", err)
+				}
+			}
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		l, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: Build failed: %v", trial, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("trial %d: built log invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package wlog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyLog returns a small two-instance valid log:
+//
+//	lsn 1: wid 1 START
+//	lsn 2: wid 2 START
+//	lsn 3: wid 1 A
+//	lsn 4: wid 2 B
+//	lsn 5: wid 1 END
+func tinyLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := New([]Record{
+		{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+		{LSN: 2, WID: 2, Seq: 1, Activity: ActivityStart},
+		{LSN: 3, WID: 1, Seq: 2, Activity: "A", Out: Attrs("x", 1)},
+		{LSN: 4, WID: 2, Seq: 2, Activity: "B"},
+		{LSN: 5, WID: 1, Seq: 3, Activity: ActivityEnd},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestNewSortsByLSN(t *testing.T) {
+	l, err := New([]Record{
+		{LSN: 2, WID: 1, Seq: 2, Activity: "A"},
+		{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if l.Record(0).LSN != 1 || l.Record(1).LSN != 2 {
+		t.Errorf("records not sorted: %v", l.Records())
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		recs []Record
+		cond Condition
+	}{
+		{
+			name: "gap in lsn",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 3, WID: 1, Seq: 2, Activity: "A"},
+			},
+			cond: CondDenseLSN,
+		},
+		{
+			name: "duplicate lsn",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 1, WID: 2, Seq: 1, Activity: ActivityStart},
+			},
+			cond: CondDenseLSN,
+		},
+		{
+			name: "lsn starts at zero",
+			recs: []Record{
+				{LSN: 0, WID: 1, Seq: 1, Activity: ActivityStart},
+			},
+			cond: CondDenseLSN,
+		},
+		{
+			name: "first record not START",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: "A"},
+			},
+			cond: CondStartFirst,
+		},
+		{
+			name: "START in the middle",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 2, WID: 1, Seq: 2, Activity: ActivityStart},
+			},
+			cond: CondStartFirst,
+		},
+		{
+			name: "START with attributes",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart, Out: Attrs("x", 1)},
+			},
+			cond: CondStartFirst,
+		},
+		{
+			name: "is-lsn gap within instance",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 2, WID: 1, Seq: 3, Activity: "A"},
+			},
+			cond: CondConsecutiveSeq,
+		},
+		{
+			name: "is-lsn repeats within instance",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 2, WID: 1, Seq: 2, Activity: "A"},
+				{LSN: 3, WID: 1, Seq: 2, Activity: "B"},
+			},
+			cond: CondConsecutiveSeq,
+		},
+		{
+			name: "record after END",
+			recs: []Record{
+				{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+				{LSN: 2, WID: 1, Seq: 2, Activity: ActivityEnd},
+				{LSN: 3, WID: 1, Seq: 3, Activity: "A"},
+			},
+			cond: CondEndLast,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.recs)
+			if err == nil {
+				t.Fatal("New: want validation error, got nil")
+			}
+			if !errors.Is(err, ErrInvalidLog) {
+				t.Errorf("error %v does not wrap ErrInvalidLog", err)
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error %v is not a *ValidationError", err)
+			}
+			if verr.Cond != tt.cond {
+				t.Errorf("violated %v, want %v", verr.Cond, tt.cond)
+			}
+		})
+	}
+}
+
+func TestValidLogsWithInterleaving(t *testing.T) {
+	// Three interleaved instances, one never completed — mirrors Figure 3's
+	// shape where instances run concurrently and wid 3 has no END.
+	recs := []Record{
+		{LSN: 1, WID: 1, Seq: 1, Activity: ActivityStart},
+		{LSN: 2, WID: 2, Seq: 1, Activity: ActivityStart},
+		{LSN: 3, WID: 1, Seq: 2, Activity: "A"},
+		{LSN: 4, WID: 3, Seq: 1, Activity: ActivityStart},
+		{LSN: 5, WID: 2, Seq: 2, Activity: "A"},
+		{LSN: 6, WID: 1, Seq: 3, Activity: ActivityEnd},
+		{LSN: 7, WID: 2, Seq: 3, Activity: "B"},
+		{LSN: 8, WID: 2, Seq: 4, Activity: ActivityEnd},
+	}
+	l, err := New(recs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := l.WIDs(); len(got) != 3 {
+		t.Errorf("WIDs() = %v, want 3 instances", got)
+	}
+	if !l.InstanceComplete(1) || !l.InstanceComplete(2) || l.InstanceComplete(3) {
+		t.Error("InstanceComplete: want 1,2 complete and 3 incomplete")
+	}
+}
+
+func TestLogAccessors(t *testing.T) {
+	l := tinyLog(t)
+	if l.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", l.Len())
+	}
+	r, ok := l.ByLSN(3)
+	if !ok || r.Activity != "A" {
+		t.Errorf("ByLSN(3) = %v, %v", r, ok)
+	}
+	if _, ok := l.ByLSN(0); ok {
+		t.Error("ByLSN(0) should miss")
+	}
+	if _, ok := l.ByLSN(6); ok {
+		t.Error("ByLSN(6) should miss")
+	}
+
+	inst := l.Instance(1)
+	if len(inst) != 3 || inst[0].Seq != 1 || inst[2].Seq != 3 {
+		t.Errorf("Instance(1) = %v", inst)
+	}
+	if got := l.Instance(99); len(got) != 0 {
+		t.Errorf("Instance(99) = %v, want empty", got)
+	}
+
+	acts := l.Activities()
+	want := []string{"A", "B", ActivityEnd, ActivityStart}
+	if len(acts) != len(want) {
+		t.Fatalf("Activities() = %v, want %v", acts, want)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Errorf("Activities()[%d] = %q, want %q", i, acts[i], want[i])
+		}
+	}
+}
+
+func TestLogRecordsIsACopy(t *testing.T) {
+	l := tinyLog(t)
+	rs := l.Records()
+	rs[0].Activity = "MUTATED"
+	if l.Record(0).Activity == "MUTATED" {
+		t.Error("Records() shares memory with the log")
+	}
+}
+
+func TestLogAppend(t *testing.T) {
+	l := tinyLog(t)
+	l2, err := l.Append(Record{LSN: 6, WID: 2, Seq: 3, Activity: ActivityEnd})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if l2.Len() != 6 || l.Len() != 5 {
+		t.Errorf("Append mutated receiver or lost records: %d, %d", l.Len(), l2.Len())
+	}
+	if _, err := l.Append(Record{LSN: 9, WID: 2, Seq: 3, Activity: "A"}); err == nil {
+		t.Error("Append with bad lsn: want error")
+	}
+}
+
+func TestLogEqual(t *testing.T) {
+	a := tinyLog(t)
+	b := tinyLog(t)
+	if !a.Equal(b) {
+		t.Error("identical logs not Equal")
+	}
+	c, err := a.Append(Record{LSN: 6, WID: 2, Seq: 3, Activity: ActivityEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("logs of different length Equal")
+	}
+}
+
+func TestLogString(t *testing.T) {
+	s := tinyLog(t).String()
+	for _, want := range []string{"lsn", "START", "A", "x=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	for c := CondDenseLSN; c <= CondEndLast; c++ {
+		if s := c.String(); !strings.HasPrefix(s, "condition") {
+			t.Errorf("Condition(%d).String() = %q", c, s)
+		}
+	}
+	if s := Condition(99).String(); s != "condition 99" {
+		t.Errorf("unknown condition = %q", s)
+	}
+}

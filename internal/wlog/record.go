@@ -1,0 +1,65 @@
+package wlog
+
+import (
+	"fmt"
+)
+
+// Reserved activity names for the two special log records of Section 2:
+// every instance's first record is a START record and a completed instance's
+// last record is an END record. Both carry empty input and output maps.
+const (
+	ActivityStart = "START"
+	ActivityEnd   = "END"
+)
+
+// Record is a log record per Definition 1: the tuple
+// (lsn, wid, is-lsn, t, αin, αout).
+//
+// Field names follow the paper's accessor functions: LSN is lsn(l), WID is
+// wid(l), Seq is the instance-specific log sequence number is-lsn(l),
+// Activity is act(l), In is αin(l) and Out is αout(l).
+type Record struct {
+	// LSN is the global log sequence number, unique and dense across the log.
+	LSN uint64
+	// WID identifies the workflow instance (enactment) the record belongs to.
+	WID uint64
+	// Seq is the instance-specific log sequence number: dense and starting
+	// at 1 within each workflow instance ("is-lsn" in the paper).
+	Seq uint64
+	// Activity is the activity name t ∈ T executed by this step.
+	Activity string
+	// In is the input map αin over the attributes read by the activity.
+	In AttrMap
+	// Out is the output map αout over the attributes written by the activity.
+	Out AttrMap
+}
+
+// IsStart reports whether the record is a START record.
+func (r Record) IsStart() bool { return r.Activity == ActivityStart }
+
+// IsEnd reports whether the record is an END record.
+func (r Record) IsEnd() bool { return r.Activity == ActivityEnd }
+
+// Clone returns a deep copy of the record (attribute maps included).
+func (r Record) Clone() Record {
+	r.In = r.In.Clone()
+	r.Out = r.Out.Clone()
+	return r
+}
+
+// Equal reports whether two records agree on every component, with attribute
+// maps compared by value.
+func (r Record) Equal(other Record) bool {
+	return r.LSN == other.LSN &&
+		r.WID == other.WID &&
+		r.Seq == other.Seq &&
+		r.Activity == other.Activity &&
+		r.In.Equal(other.In) &&
+		r.Out.Equal(other.Out)
+}
+
+// String renders the record as a single Figure 3-style row.
+func (r Record) String() string {
+	return fmt.Sprintf("(lsn=%d wid=%d is-lsn=%d %s in:[%s] out:[%s])",
+		r.LSN, r.WID, r.Seq, r.Activity, r.In, r.Out)
+}

@@ -1,0 +1,256 @@
+package workflow
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Conformance checking: does an observed activity trace belong to the
+// language of a model? Accepts answers this by stepping a set of residual
+// process terms through the trace, Brzozowski-derivative style:
+//
+//	state   := set of residual Steps (what may still run)
+//	step(a) := for each residual, every way to consume activity a
+//	accept  := after the whole trace, some residual is nullable (may stop)
+//
+// Sequence, XOR and Loop derive structurally; AND derives in any branch
+// while the others stay put, which handles interleavings without
+// enumerating them. State sets are deduplicated by a canonical printed
+// form, so the walk stays polynomial for realistic models.
+
+// doneStep is the residual of a completed block: nullable, derives nothing.
+type doneStep struct{}
+
+func (doneStep) isStep()         {}
+func (doneStep) validate() error { return nil }
+
+// Accepts reports whether the trace (activity names, without START/END) is
+// a possible complete execution of the model.
+func (m *Model) Accepts(trace []string) bool {
+	states := map[string]Step{key(m.Root): m.Root}
+	for _, activity := range trace {
+		next := make(map[string]Step)
+		for _, st := range states {
+			for _, d := range derive(st, activity) {
+				next[key(d)] = d
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		states = next
+	}
+	for _, st := range states {
+		if nullable(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsPrefix reports whether the trace is a prefix of some complete
+// execution — the right check for instances still in flight (no END yet).
+func (m *Model) AcceptsPrefix(trace []string) bool {
+	states := map[string]Step{key(m.Root): m.Root}
+	for _, activity := range trace {
+		next := make(map[string]Step)
+		for _, st := range states {
+			for _, d := range derive(st, activity) {
+				next[key(d)] = d
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		states = next
+	}
+	return true
+}
+
+// nullable reports whether the residual can terminate without consuming
+// more activities.
+func nullable(s Step) bool {
+	switch s := s.(type) {
+	case doneStep:
+		return true
+	case Task:
+		return false
+	case Sequence:
+		for _, sub := range s {
+			if !nullable(sub) {
+				return false
+			}
+		}
+		return true
+	case XOR:
+		for _, br := range s.Branches {
+			if br.Step == nil || nullable(br.Step) {
+				return true
+			}
+		}
+		return false
+	case AND:
+		for _, br := range s.Branches {
+			if !nullable(br) {
+				return false
+			}
+		}
+		return true
+	case Loop:
+		// The body runs at least once.
+		return nullable(s.Body)
+	default:
+		return false
+	}
+}
+
+// derive returns every residual after s consumes the activity.
+func derive(s Step, activity string) []Step {
+	switch s := s.(type) {
+	case doneStep:
+		return nil
+	case Task:
+		if s.Name == activity {
+			return []Step{doneStep{}}
+		}
+		return nil
+	case Sequence:
+		if len(s) == 0 {
+			return nil
+		}
+		var out []Step
+		// Consume in the head.
+		for _, d := range derive(s[0], activity) {
+			out = append(out, seq(d, s[1:]))
+		}
+		// Or skip a nullable head and consume later.
+		if nullable(s[0]) {
+			out = append(out, derive(Sequence(s[1:]), activity)...)
+		}
+		return out
+	case XOR:
+		var out []Step
+		for _, br := range s.Branches {
+			if br.Step == nil {
+				continue
+			}
+			out = append(out, derive(br.Step, activity)...)
+		}
+		return out
+	case AND:
+		var out []Step
+		for i, br := range s.Branches {
+			for _, d := range derive(br, activity) {
+				rest := make([]Step, len(s.Branches))
+				copy(rest, s.Branches)
+				rest[i] = d
+				out = append(out, pruneAND(rest))
+			}
+		}
+		return out
+	case Loop:
+		var out []Step
+		for _, d := range derive(s.Body, activity) {
+			if s.MaxIter > 1 {
+				// Finish this iteration, then optionally loop again.
+				again := XOR{Branches: []Branch{
+					{Weight: 1, Step: nil},
+					{Weight: 1, Step: Loop{Body: s.Body, ContinueProb: s.ContinueProb, MaxIter: s.MaxIter - 1}},
+				}}
+				out = append(out, seq(d, Sequence{again}))
+			} else {
+				out = append(out, d)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// seq prepends a residual to the remaining steps, simplifying done heads.
+func seq(head Step, tail Sequence) Step {
+	if _, ok := head.(doneStep); ok {
+		switch len(tail) {
+		case 0:
+			return doneStep{}
+		case 1:
+			return tail[0]
+		default:
+			return Sequence(append([]Step{}, tail...))
+		}
+	}
+	if len(tail) == 0 {
+		return head
+	}
+	return Sequence(append([]Step{head}, tail...))
+}
+
+// pruneAND drops completed branches; a fully completed AND is done.
+func pruneAND(branches []Step) Step {
+	var live []Step
+	for _, br := range branches {
+		if _, ok := br.(doneStep); !ok {
+			live = append(live, br)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return doneStep{}
+	case 1:
+		return live[0]
+	default:
+		return AND{Branches: live}
+	}
+}
+
+// key renders a residual canonically for state-set deduplication. AND
+// branches are order-normalized (interleaving makes branch order
+// irrelevant); weights and probabilities are ignored (they do not affect
+// the language).
+func key(s Step) string {
+	var sb strings.Builder
+	writeKey(&sb, s)
+	return sb.String()
+}
+
+func writeKey(sb *strings.Builder, s Step) {
+	switch s := s.(type) {
+	case doneStep:
+		sb.WriteString("√")
+	case Task:
+		sb.WriteString(s.Name)
+	case Sequence:
+		sb.WriteString("(;")
+		for _, sub := range s {
+			sb.WriteByte(' ')
+			writeKey(sb, sub)
+		}
+		sb.WriteByte(')')
+	case XOR:
+		keys := make([]string, 0, len(s.Branches))
+		for _, br := range s.Branches {
+			if br.Step == nil {
+				keys = append(keys, "ε")
+				continue
+			}
+			keys = append(keys, key(br.Step))
+		}
+		sort.Strings(keys)
+		sb.WriteString("(+ " + strings.Join(keys, " ") + ")")
+	case AND:
+		keys := make([]string, 0, len(s.Branches))
+		for _, br := range s.Branches {
+			keys = append(keys, key(br))
+		}
+		sort.Strings(keys)
+		sb.WriteString("(∥ " + strings.Join(keys, " ") + ")")
+	case Loop:
+		sb.WriteString("(*")
+		writeKey(sb, s.Body)
+		sb.WriteString(" x")
+		sb.WriteString(strconv.Itoa(s.MaxIter))
+		sb.WriteByte(')')
+	}
+}

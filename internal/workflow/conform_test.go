@@ -1,0 +1,202 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func conformModel() *Model {
+	return &Model{
+		Name: "conform",
+		Root: Sequence{
+			Task{Name: "A"},
+			XOR{Branches: []Branch{
+				{Weight: 1, Step: Task{Name: "B"}},
+				{Weight: 1, Step: Task{Name: "C"}},
+				{Weight: 1, Step: nil}, // skippable
+			}},
+			AND{Branches: []Step{
+				Sequence{Task{Name: "D"}, Task{Name: "E"}},
+				Task{Name: "F"},
+			}},
+			Loop{Body: Task{Name: "G"}, ContinueProb: 0.5, MaxIter: 2},
+		},
+	}
+}
+
+func TestAcceptsExactTraces(t *testing.T) {
+	m := conformModel()
+	accepted := [][]string{
+		{"A", "B", "D", "E", "F", "G"},
+		{"A", "C", "F", "D", "E", "G"},
+		{"A", "D", "F", "E", "G"},           // XOR skipped; F interleaves D..E
+		{"A", "B", "D", "E", "F", "G", "G"}, // loop twice
+	}
+	for _, tr := range accepted {
+		if !m.Accepts(tr) {
+			t.Errorf("Accepts(%v) = false", tr)
+		}
+	}
+	rejected := [][]string{
+		{},                                       // A is mandatory
+		{"A"},                                    // AND and loop missing
+		{"A", "B", "D", "E", "F"},                // loop body missing (runs ≥1)
+		{"A", "B", "E", "D", "F", "G"},           // E before D breaks the branch
+		{"A", "B", "C", "D", "E", "F", "G"},      // both XOR branches
+		{"A", "B", "D", "E", "F", "G", "G", "G"}, // loop beyond MaxIter
+		{"A", "B", "D", "E", "F", "G", "X"},      // unknown activity
+		{"B", "A", "D", "E", "F", "G"},           // wrong start
+		{"A", "B", "D", "E", "F", "F", "G"},      // F twice
+	}
+	for _, tr := range rejected {
+		if m.Accepts(tr) {
+			t.Errorf("Accepts(%v) = true", tr)
+		}
+	}
+}
+
+func TestAcceptsPrefix(t *testing.T) {
+	m := conformModel()
+	prefixes := [][]string{
+		{},
+		{"A"},
+		{"A", "B"},
+		{"A", "D"},
+		{"A", "C", "F", "D"},
+	}
+	for _, tr := range prefixes {
+		if !m.AcceptsPrefix(tr) {
+			t.Errorf("AcceptsPrefix(%v) = false", tr)
+		}
+	}
+	bad := [][]string{
+		{"B"},
+		{"A", "A"},
+		{"A", "B", "C"},
+		{"A", "B", "E"},
+	}
+	for _, tr := range bad {
+		if m.AcceptsPrefix(tr) {
+			t.Errorf("AcceptsPrefix(%v) = true", tr)
+		}
+	}
+	// A complete trace is also a valid prefix.
+	if !m.AcceptsPrefix([]string{"A", "B", "D", "E", "F", "G"}) {
+		t.Error("complete trace rejected as prefix")
+	}
+}
+
+// TestEveryExpansionConforms: model expansions are, by construction, words
+// of the model's language.
+func TestEveryExpansionConforms(t *testing.T) {
+	models := []*Model{
+		conformModel(),
+		{Name: "nested", Root: Sequence{
+			Loop{Body: AND{Branches: []Step{
+				Task{Name: "P"},
+				XOR{Branches: []Branch{
+					{Weight: 1, Step: Task{Name: "Q"}},
+					{Weight: 1, Step: Sequence{Task{Name: "R"}, Task{Name: "S"}}},
+				}},
+			}}, ContinueProb: 0.5, MaxIter: 3},
+			Task{Name: "T"},
+		}},
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			tasks := m.Expand(rng)
+			trace := make([]string, len(tasks))
+			for i, task := range tasks {
+				trace[i] = task.Name
+			}
+			if !m.Accepts(trace) {
+				t.Fatalf("%s: expansion %v rejected", m.Name, trace)
+			}
+			for cut := 0; cut <= len(trace); cut++ {
+				if !m.AcceptsPrefix(trace[:cut]) {
+					t.Fatalf("%s: prefix %v rejected", m.Name, trace[:cut])
+				}
+			}
+		}
+	}
+}
+
+// TestMutatedExpansionsMostlyRejected: random single-mutation corruptions
+// of valid traces are usually outside the language (not always — a swap can
+// produce another valid interleaving — so the test demands a high rejection
+// rate, not totality).
+func TestMutatedExpansionsMostlyRejected(t *testing.T) {
+	m := conformModel()
+	rng := rand.New(rand.NewSource(45))
+	total, rejected := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		tasks := m.Expand(rng)
+		trace := make([]string, len(tasks))
+		for i, task := range tasks {
+			trace[i] = task.Name
+		}
+		mutated := append([]string{}, trace...)
+		switch rng.Intn(3) {
+		case 0: // drop one activity
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i], mutated[i+1:]...)
+		case 1: // duplicate one activity
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i+1], mutated[i:]...)
+		case 2: // inject a foreign activity
+			i := rng.Intn(len(mutated) + 1)
+			mutated = append(mutated[:i], append([]string{"ZZZ"}, mutated[i:]...)...)
+		}
+		total++
+		if !m.Accepts(mutated) {
+			rejected++
+		}
+	}
+	// Some mutations land back inside the language (duplicating the loop
+	// body within MaxIter, dropping an optional XOR activity), so demand a
+	// high rate, not totality.
+	if rate := float64(rejected) / float64(total); rate < 0.8 {
+		t.Errorf("mutation rejection rate %.2f, want ≥ 0.8", rate)
+	}
+}
+
+func TestAcceptsDoesNotMutateModel(t *testing.T) {
+	m := conformModel()
+	before := key(m.Root)
+	m.Accepts([]string{"A", "B", "D", "E", "F", "G"})
+	if key(m.Root) != before {
+		t.Error("Accepts mutated the model")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Step
+		want bool
+	}{
+		{"task", Task{Name: "A"}, false},
+		{"done", doneStep{}, true},
+		{"skippable xor", XOR{Branches: []Branch{{Weight: 1, Step: nil}}}, true},
+		{"mandatory xor", XOR{Branches: []Branch{{Weight: 1, Step: Task{Name: "A"}}}}, false},
+		{"sequence of nullables", Sequence{XOR{Branches: []Branch{{Weight: 1, Step: nil}}}}, true},
+		{"sequence with task", Sequence{Task{Name: "A"}}, false},
+		{"and of nullables", AND{Branches: []Step{
+			XOR{Branches: []Branch{{Weight: 1, Step: nil}}},
+			XOR{Branches: []Branch{{Weight: 1, Step: nil}}},
+		}}, true},
+		{"loop of task", Loop{Body: Task{Name: "A"}, MaxIter: 3}, false},
+		{"loop of nullable", Loop{Body: XOR{Branches: []Branch{{Weight: 1, Step: nil}}}, MaxIter: 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := nullable(tt.s); got != tt.want {
+				t.Errorf("nullable = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

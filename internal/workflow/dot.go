@@ -1,0 +1,107 @@
+package workflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dot renders the model as a Graphviz flowchart (BPMN-ish): rounded boxes
+// for tasks, diamonds for XOR gateways, bars for AND split/join, a loop-back
+// edge for loops. The output is ready for `dot -Tsvg`.
+func (m *Model) Dot() string {
+	d := &dotBuilder{}
+	d.line("digraph %s {", strconv.Quote(m.Name))
+	d.line("  rankdir=TB;")
+	d.line("  node [fontsize=11];")
+	d.line(`  start [shape=circle, label="", style=filled, fillcolor=black, width=0.25];`)
+	d.line(`  end [shape=doublecircle, label="", style=filled, fillcolor=black, width=0.18];`)
+	exit := d.emit(m.Root, "start")
+	d.line("  %s -> end;", exit)
+	d.line("}")
+	return d.sb.String()
+}
+
+type dotBuilder struct {
+	sb   strings.Builder
+	next int
+}
+
+func (d *dotBuilder) line(format string, args ...any) {
+	fmt.Fprintf(&d.sb, format+"\n", args...)
+}
+
+func (d *dotBuilder) fresh(prefix string) string {
+	d.next++
+	return fmt.Sprintf("%s%d", prefix, d.next)
+}
+
+// emit writes the subgraph for s entered from node `from` and returns the
+// node every successor should attach to.
+func (d *dotBuilder) emit(s Step, from string) string {
+	switch s := s.(type) {
+	case Task:
+		id := d.fresh("t")
+		d.line("  %s [shape=box, style=rounded, label=%s];", id, strconv.Quote(s.Name))
+		d.line("  %s -> %s;", from, id)
+		return id
+	case Sequence:
+		cur := from
+		for _, sub := range s {
+			cur = d.emit(sub, cur)
+		}
+		return cur
+	case XOR:
+		split := d.fresh("x")
+		join := d.fresh("x")
+		d.line(`  %s [shape=diamond, label="×", width=0.35, height=0.35];`, split)
+		d.line(`  %s [shape=diamond, label="×", width=0.35, height=0.35];`, join)
+		d.line("  %s -> %s;", from, split)
+		total := 0.0
+		for _, br := range s.Branches {
+			total += br.Weight
+		}
+		for _, br := range s.Branches {
+			label := fmt.Sprintf("%.0f%%", 100*br.Weight/total)
+			if br.Step == nil {
+				d.line("  %s -> %s [label=%s, style=dashed];", split, join, strconv.Quote(label))
+				continue
+			}
+			exit := d.emitLabeled(br.Step, split, label)
+			d.line("  %s -> %s;", exit, join)
+		}
+		return join
+	case AND:
+		split := d.fresh("a")
+		join := d.fresh("a")
+		d.line(`  %s [shape=box, label="∥", width=0.3, height=0.12, style=filled, fillcolor=black, fontcolor=white];`, split)
+		d.line(`  %s [shape=box, label="∥", width=0.3, height=0.12, style=filled, fillcolor=black, fontcolor=white];`, join)
+		d.line("  %s -> %s;", from, split)
+		for _, br := range s.Branches {
+			exit := d.emit(br, split)
+			d.line("  %s -> %s;", exit, join)
+		}
+		return join
+	case Loop:
+		entry := d.fresh("l")
+		d.line(`  %s [shape=point];`, entry)
+		d.line("  %s -> %s;", from, entry)
+		exit := d.emit(s.Body, entry)
+		d.line("  %s -> %s [label=%s, style=dashed, constraint=false];",
+			exit, entry, strconv.Quote(fmt.Sprintf("≤%d×, p=%.2f", s.MaxIter, s.ContinueProb)))
+		return exit
+	default:
+		return from
+	}
+}
+
+// emitLabeled is emit with a label on the entering edge (XOR branch
+// probabilities).
+func (d *dotBuilder) emitLabeled(s Step, from, label string) string {
+	// Insert a labeled point so the branch probability sits on the first
+	// edge regardless of the branch's internal structure.
+	p := d.fresh("p")
+	d.line("  %s [shape=point, width=0.05];", p)
+	d.line("  %s -> %s [label=%s];", from, p, strconv.Quote(label))
+	return d.emit(s, p)
+}

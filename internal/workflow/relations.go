@@ -1,0 +1,122 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Language relations. Relations computes, exactly, which activity orderings
+// the model's language permits:
+//
+//   - DirectlyFollows(a, b): some word of the language contains a
+//     immediately followed by b.
+//   - EventuallyFollows(a, b): some word contains a with b anywhere later.
+//
+// The computation explores the residual-state graph of the conformance
+// checker (conform.go): states are canonical residual terms, edges are
+// activity-labeled derivative steps. Every derivative consumes one activity
+// and loops carry a strictly decreasing iteration bound, so the graph is a
+// DAG and label reachability is a memoized traversal — no sampling, no
+// approximation.
+//
+// The complements of these relations are exactly the "queries from business
+// principles" the paper's conclusion envisions: if the model never allows b
+// (eventually) after a, then the incident pattern `a -> b` must be empty on
+// any conforming log; a non-empty result is a deviation (internal/audit
+// builds on this).
+type Relations struct {
+	// Alphabet is the model's activity set, sorted.
+	Alphabet []string
+	df       map[[2]string]bool
+	ef       map[[2]string]bool
+}
+
+// DirectlyFollows reports whether some execution runs a then b adjacently.
+func (r *Relations) DirectlyFollows(a, b string) bool { return r.df[[2]string{a, b}] }
+
+// EventuallyFollows reports whether some execution runs a with b later.
+func (r *Relations) EventuallyFollows(a, b string) bool { return r.ef[[2]string{a, b}] }
+
+// maxRelationStates bounds the residual-state exploration; block-structured
+// models of realistic size stay far below it (the bound exists because AND
+// blocks multiply branch positions).
+const maxRelationStates = 200000
+
+// ComputeRelations explores the model's residual-state graph and returns
+// its exact ordering relations. It returns an error if the model is invalid
+// or the state space exceeds the safety bound.
+func ComputeRelations(m *Model) (*Relations, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	alphabet := m.Activities()
+	sort.Strings(alphabet)
+
+	type edge struct {
+		label string
+		to    string
+	}
+	states := map[string]Step{}
+	edges := map[string][]edge{}
+
+	rootKey := key(m.Root)
+	states[rootKey] = m.Root
+	frontier := []string{rootKey}
+	for len(frontier) > 0 {
+		k := frontier[0]
+		frontier = frontier[1:]
+		s := states[k]
+		for _, a := range alphabet {
+			for _, d := range derive(s, a) {
+				dk := key(d)
+				if _, seen := states[dk]; !seen {
+					if len(states) >= maxRelationStates {
+						return nil, fmt.Errorf(
+							"workflow: model %q exceeds %d residual states; relations not computed",
+							m.Name, maxRelationStates)
+					}
+					states[dk] = d
+					frontier = append(frontier, dk)
+				}
+				edges[k] = append(edges[k], edge{label: a, to: dk})
+			}
+		}
+	}
+
+	// reach[state] = set of labels firable somewhere at-or-after the state.
+	// The graph is a DAG (each step consumes an activity from a finite
+	// expansion), so plain memoized recursion terminates.
+	reach := make(map[string]map[string]bool, len(states))
+	var labelsFrom func(k string) map[string]bool
+	labelsFrom = func(k string) map[string]bool {
+		if r, ok := reach[k]; ok {
+			return r
+		}
+		r := map[string]bool{}
+		reach[k] = r // DAG: no cycle can revisit k mid-computation
+		for _, e := range edges[k] {
+			r[e.label] = true
+			for l := range labelsFrom(e.to) {
+				r[l] = true
+			}
+		}
+		return r
+	}
+
+	rel := &Relations{
+		Alphabet: alphabet,
+		df:       map[[2]string]bool{},
+		ef:       map[[2]string]bool{},
+	}
+	for k := range states {
+		for _, e := range edges[k] {
+			for _, next := range edges[e.to] {
+				rel.df[[2]string{e.label, next.label}] = true
+			}
+			for l := range labelsFrom(e.to) {
+				rel.ef[[2]string{e.label, l}] = true
+			}
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,145 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelationsSequence(t *testing.T) {
+	m := &Model{Name: "seq", Root: Sequence{
+		Task{Name: "A"}, Task{Name: "B"}, Task{Name: "C"},
+	}}
+	r, err := ComputeRelations(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Alphabet) != 3 {
+		t.Fatalf("alphabet = %v", r.Alphabet)
+	}
+	type rel struct {
+		a, b   string
+		df, ef bool
+	}
+	checks := []rel{
+		{"A", "B", true, true},
+		{"B", "C", true, true},
+		{"A", "C", false, true},
+		{"B", "A", false, false},
+		{"C", "A", false, false},
+		{"A", "A", false, false},
+	}
+	for _, c := range checks {
+		if got := r.DirectlyFollows(c.a, c.b); got != c.df {
+			t.Errorf("DF(%s,%s) = %v, want %v", c.a, c.b, got, c.df)
+		}
+		if got := r.EventuallyFollows(c.a, c.b); got != c.ef {
+			t.Errorf("EF(%s,%s) = %v, want %v", c.a, c.b, got, c.ef)
+		}
+	}
+}
+
+func TestRelationsXORAndLoop(t *testing.T) {
+	m := &Model{Name: "xl", Root: Sequence{
+		XOR{Branches: []Branch{
+			{Weight: 1, Step: Task{Name: "B"}},
+			{Weight: 1, Step: Task{Name: "C"}},
+		}},
+		Loop{Body: Task{Name: "D"}, ContinueProb: 0.5, MaxIter: 3},
+	}}
+	r, err := ComputeRelations(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B and C are alternatives: never ordered relative to each other.
+	if r.EventuallyFollows("B", "C") || r.EventuallyFollows("C", "B") {
+		t.Error("XOR alternatives ordered")
+	}
+	// The loop makes D follow itself.
+	if !r.DirectlyFollows("D", "D") || !r.EventuallyFollows("D", "D") {
+		t.Error("loop self-follow missing")
+	}
+	if !r.DirectlyFollows("B", "D") || !r.DirectlyFollows("C", "D") {
+		t.Error("branch to loop DF missing")
+	}
+	if r.EventuallyFollows("D", "B") {
+		t.Error("D precedes B?")
+	}
+}
+
+func TestRelationsAND(t *testing.T) {
+	m := &Model{Name: "and", Root: AND{Branches: []Step{
+		Sequence{Task{Name: "P"}, Task{Name: "Q"}},
+		Task{Name: "R"},
+	}}}
+	r, err := ComputeRelations(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R interleaves anywhere: both orders possible against P and Q.
+	for _, pair := range [][2]string{{"P", "R"}, {"R", "P"}, {"Q", "R"}, {"R", "Q"}} {
+		if !r.EventuallyFollows(pair[0], pair[1]) {
+			t.Errorf("EF(%s,%s) = false under AND", pair[0], pair[1])
+		}
+	}
+	// Branch-internal order still holds strictly.
+	if r.EventuallyFollows("Q", "P") {
+		t.Error("Q before P inside a sequence branch")
+	}
+	if !r.DirectlyFollows("P", "Q") {
+		t.Error("DF(P,Q) missing")
+	}
+}
+
+// TestRelationsMatchExpansions: relations computed from the state graph
+// must agree with relations observed across many random expansions
+// (observed ⊆ computed always; equality given enough samples on small
+// models).
+func TestRelationsMatchExpansions(t *testing.T) {
+	m := conformModel()
+	r, err := ComputeRelations(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	observedDF := map[[2]string]bool{}
+	observedEF := map[[2]string]bool{}
+	for trial := 0; trial < 4000; trial++ {
+		tasks := m.Expand(rng)
+		for i := range tasks {
+			if i+1 < len(tasks) {
+				observedDF[[2]string{tasks[i].Name, tasks[i+1].Name}] = true
+			}
+			for j := i + 1; j < len(tasks); j++ {
+				observedEF[[2]string{tasks[i].Name, tasks[j].Name}] = true
+			}
+		}
+	}
+	for pair := range observedDF {
+		if !r.DirectlyFollows(pair[0], pair[1]) {
+			t.Errorf("observed DF %v not computed", pair)
+		}
+	}
+	for pair := range observedEF {
+		if !r.EventuallyFollows(pair[0], pair[1]) {
+			t.Errorf("observed EF %v not computed", pair)
+		}
+	}
+	// And the computed relations are tight on this model: everything
+	// computed shows up in 4000 samples.
+	for _, a := range r.Alphabet {
+		for _, b := range r.Alphabet {
+			if r.DirectlyFollows(a, b) && !observedDF[[2]string{a, b}] {
+				t.Errorf("computed DF(%s,%s) never observed", a, b)
+			}
+			if r.EventuallyFollows(a, b) && !observedEF[[2]string{a, b}] {
+				t.Errorf("computed EF(%s,%s) never observed", a, b)
+			}
+		}
+	}
+}
+
+func TestRelationsInvalidModel(t *testing.T) {
+	if _, err := ComputeRelations(&Model{Name: "bad", Root: Sequence{}}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
