@@ -1,0 +1,163 @@
+// Command wlq-serve runs the long-lived HTTP query service: it loads one or
+// more workflow logs at startup, builds each log's index once, and serves
+// incident-pattern queries with plan/result caching.
+//
+// Usage:
+//
+//	wlq-serve -log referrals.jsonl
+//	wlq-serve -log clinic=clinic:2000:7 -log fig3=fig3 -addr :8080
+//	wlq-serve -log big.jsonl -workers 8 -cache 1024 -timeout 5s
+//
+// Each -log flag (repeatable) is either a bare log specification — file
+// path, "fig3", "clinic:<instances>:<seed>", "model:<name>:<instances>:<seed>"
+// — or "<name>=<spec>" to choose the name the API addresses the log by.
+// A bare spec is named after its basename ("referrals" for
+// /data/referrals.jsonl).
+//
+// Endpoints: POST /v1/query, GET /v1/explain, GET /v1/logs, GET /metrics.
+// See docs/OPERATIONS.md for the full reference.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"wlq"
+	"wlq/internal/server"
+)
+
+// logFlags collects repeated -log arguments.
+type logFlags []string
+
+func (f *logFlags) String() string { return strings.Join(*f, ", ") }
+
+func (f *logFlags) Set(v string) error {
+	if v == "" {
+		return errors.New("empty -log value")
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlq-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run configures and serves until ctx is cancelled or SIGINT/SIGTERM lands.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wlq-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var logs logFlags
+	fs.Var(&logs, "log", "log to serve, \"<spec>\" or \"<name>=<spec>\" (repeatable)")
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "evaluation workers per query (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", server.DefaultCacheSize, "plan/result cache entries (negative disables)")
+		timeout = fs.Duration("timeout", server.DefaultTimeout, "per-request evaluation timeout")
+		maxBody = fs.Int64("max-body", server.DefaultMaxBody, "request body size limit in bytes")
+		naive   = fs.Bool("naive", false, "default to the paper's verbatim Algorithm 1 joins")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(logs) == 0 {
+		fs.Usage()
+		return errors.New("missing -log (repeat it to serve several logs)")
+	}
+
+	cfg := server.Config{
+		Workers:      *workers,
+		CacheSize:    *cache,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	}
+	if *naive {
+		cfg.Strategy = wlq.StrategyNaive
+	}
+	srv := server.New(cfg)
+	for _, arg := range logs {
+		name, spec := splitLogArg(arg)
+		l, err := wlq.OpenLog(spec)
+		if err != nil {
+			return fmt.Errorf("load %q: %w", spec, err)
+		}
+		if err := srv.AddLog(name, spec, l); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %q from %s: %d records, %d instances\n",
+			name, spec, l.Len(), len(l.WIDs()))
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, *addr, *drain, srv.Handler(), out)
+}
+
+// serve listens until ctx is cancelled, then drains in-flight requests.
+func serve(ctx context.Context, addr string, drain time.Duration, h http.Handler, out io.Writer) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// splitLogArg parses "<name>=<spec>" or a bare spec. Bare file paths are
+// named by basename without extension; bare generator specs by their prefix
+// ("fig3", "clinic", "model").
+func splitLogArg(arg string) (name, spec string) {
+	if n, s, ok := strings.Cut(arg, "="); ok && n != "" && !strings.Contains(n, "/") && !strings.Contains(n, ":") {
+		return n, s
+	}
+	spec = arg
+	if i := strings.IndexByte(spec, ':'); i >= 0 && !strings.ContainsAny(spec[:i], "./\\") {
+		return spec[:i], spec // generator spec: clinic:100:7 -> "clinic"
+	}
+	base := filepath.Base(spec)
+	if ext := filepath.Ext(base); ext != "" {
+		base = strings.TrimSuffix(base, ext)
+	}
+	return base, spec
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSplitLogArg(t *testing.T) {
+	tests := []struct {
+		arg, name, spec string
+	}{
+		{"fig3", "fig3", "fig3"},
+		{"clinic:100:7", "clinic", "clinic:100:7"},
+		{"referrals.jsonl", "referrals", "referrals.jsonl"},
+		{"/data/referrals.jsonl", "referrals", "/data/referrals.jsonl"},
+		{"./logs/audit.txt", "audit", "./logs/audit.txt"},
+		{"prod=clinic:100:7", "prod", "clinic:100:7"},
+		{"mylog=/data/x.jsonl", "mylog", "/data/x.jsonl"},
+	}
+	for _, tt := range tests {
+		name, spec := splitLogArg(tt.arg)
+		if name != tt.name || spec != tt.spec {
+			t.Errorf("splitLogArg(%q) = (%q, %q), want (%q, %q)",
+				tt.arg, name, spec, tt.name, tt.spec)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe writer the server goroutine logs into.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunArgErrors(t *testing.T) {
+	ctx := context.Background()
+	var buf syncBuffer
+	if err := run(ctx, nil, &buf); err == nil {
+		t.Error("run without -log succeeded")
+	}
+	if err := run(ctx, []string{"-log", "does-not-exist.jsonl"}, &buf); err == nil {
+		t.Error("run with a missing log file succeeded")
+	}
+	if err := run(ctx, []string{"-log", "fig3", "-addr", "999.999.999.999:1"}, &buf); err == nil {
+		t.Error("run with an unlistenable address succeeded")
+	}
+}
+
+var servingRE = regexp.MustCompile(`serving on ([\d.:\[\]]+)`)
+
+func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-log", "fig3", "-addr", "127.0.0.1:0"}, &buf)
+	}()
+
+	// Wait for the listener to come up and learn the ephemeral port.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := servingRE.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited early: %v\n%s", err, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never started:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/query", "application/json",
+		strings.NewReader(`{"log":"fig3","query":"UpdateRefer -> GetReimburse"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	var body struct {
+		Count     int `json:"count"`
+		Incidents []struct {
+			WID  uint64   `json:"wid"`
+			Seqs []uint64 `json:"seqs"`
+		} `json:"incidents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Example 3: exactly {wid=2:{5,9}}.
+	if body.Count != 1 || body.Incidents[0].WID != 2 {
+		t.Fatalf("unexpected result: %+v", body)
+	}
+
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		QueriesTotal uint64 `json:"queries_total"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.QueriesTotal != 1 {
+		t.Errorf("queries_total = %d, want 1", metrics.QueriesTotal)
+	}
+
+	// Graceful shutdown: cancelling the context must end run without error.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within the drain window")
+	}
+	if !strings.Contains(buf.String(), "shutting down") {
+		t.Errorf("no shutdown log line:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `loaded "fig3"`) {
+		t.Errorf("no load log line:\n%s", buf.String())
+	}
+}

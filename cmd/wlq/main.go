@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"wlq"
@@ -193,60 +192,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	return nil
 }
 
-// loadLog resolves the -log flag.
+// loadLog resolves the -log flag; wlq.OpenLog implements the spec syntax
+// (shared with cmd/wlq-serve).
 func loadLog(spec string) (*wlq.Log, error) {
-	switch {
-	case spec == "fig3":
-		return wlq.ClinicFig3(), nil
-	case strings.HasPrefix(spec, "clinic:"):
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("malformed %q (want clinic:<instances>:<seed>)", spec)
-		}
-		instances, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, fmt.Errorf("instances in %q: %w", spec, err)
-		}
-		seed, err := strconv.ParseInt(parts[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("seed in %q: %w", spec, err)
-		}
-		return wlq.ClinicLog(instances, seed)
-	case strings.HasPrefix(spec, "model:"):
-		parts := strings.Split(spec, ":")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("malformed %q (want model:<name>:<instances>:<seed>)", spec)
-		}
-		c, err := models.ByName(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		instances, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("instances in %q: %w", spec, err)
-		}
-		seed, err := strconv.ParseInt(parts[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("seed in %q: %w", spec, err)
-		}
-		return c.Generate(instances, seed)
-	case strings.HasSuffix(strings.ToLower(spec), ".csv"):
-		f, err := os.Open(spec)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return wlq.ImportCSV(f, wlq.CSVOptions{})
-	case strings.HasSuffix(strings.ToLower(spec), ".xes"):
-		f, err := os.Open(spec)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return wlq.ImportXES(f, wlq.XESOptions{})
-	default:
-		return wlq.LoadLog(spec)
-	}
+	return wlq.OpenLog(spec)
 }
 
 // runConformance checks every instance's activity trace against the named

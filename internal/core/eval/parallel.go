@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,9 +17,33 @@ import (
 // exploits this: instances are distributed over a worker pool and the
 // per-instance results concatenated. The result is identical to Eval.
 
+// QueryStats collects per-query evaluation statistics. Pass a zero value to
+// EvalParallelCtx and read it after the call returns; the query service
+// aggregates these into its /metrics counters.
+type QueryStats struct {
+	// Workers is the number of goroutines actually used (1 = serial path).
+	Workers int
+	// Instances is the number of workflow instances evaluated. On a
+	// cancelled query it counts the instances finished before the cancel.
+	Instances int
+	// Incidents is the number of incidents produced across all instances.
+	Incidents int
+}
+
 // EvalParallel computes incL(p) using up to workers goroutines (0 means
 // GOMAXPROCS). The Index is immutable, so workers share it without locks.
 func (e *Evaluator) EvalParallel(p pattern.Node, workers int) *incident.Set {
+	set, _ := e.EvalParallelCtx(context.Background(), p, workers, nil)
+	return set
+}
+
+// EvalParallelCtx is EvalParallel with cooperative cancellation and
+// per-query statistics. Cancellation is checked between instances (one
+// instance's evaluation is never interrupted mid-join); when ctx is
+// cancelled the partial result is discarded and ctx.Err() returned. stats,
+// when non-nil, is filled in before returning — on both the success and
+// the cancellation path.
+func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers int, stats *QueryStats) (*incident.Set, error) {
 	wids := e.ix.WIDs()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,13 +52,21 @@ func (e *Evaluator) EvalParallel(p pattern.Node, workers int) *incident.Set {
 		workers = len(wids)
 	}
 	if workers <= 1 {
-		return e.Eval(p)
+		return e.evalSerialCtx(ctx, p, stats)
+	}
+	if stats != nil {
+		stats.Workers = workers
 	}
 
 	// Contiguous chunks, one per worker: per-instance work is often tiny,
 	// so per-item handoff (a channel send per instance) would dominate.
 	results := make([][]incident.Incident, len(wids))
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		done      int64 // instances completed, across workers
+		cancelled atomic.Bool
+	)
+	ctxDone := ctx.Done()
 	chunk := (len(wids) + workers - 1) / workers
 	for start := 0; start < len(wids); start += chunk {
 		end := start + chunk
@@ -44,23 +77,66 @@ func (e *Evaluator) EvalParallel(p pattern.Node, workers int) *incident.Set {
 		go func(start, end int) {
 			defer wg.Done()
 			for i := start; i < end; i++ {
+				if cancelled.Load() {
+					return
+				}
+				select {
+				case <-ctxDone:
+					cancelled.Store(true)
+					return
+				default:
+				}
 				results[i] = e.evalWID(p, wids[i])
+				atomic.AddInt64(&done, 1)
 			}
 		}(start, end)
 	}
 	wg.Wait()
 
-	// Per-instance slices are individually normalized and instance ids are
-	// ascending, so concatenation in wid order is already canonical.
 	total := 0
 	for _, r := range results {
 		total += len(r)
 	}
+	if stats != nil {
+		stats.Instances = int(done)
+		stats.Incidents = total
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Per-instance slices are individually normalized and instance ids are
+	// ascending, so concatenation in wid order is already canonical.
 	flat := make([]incident.Incident, 0, total)
 	for _, r := range results {
 		flat = append(flat, r...)
 	}
-	return setFromSorted(flat)
+	return setFromSorted(flat), nil
+}
+
+// evalSerialCtx is the workers<=1 path of EvalParallelCtx: Eval with
+// per-instance cancellation checks and stats.
+func (e *Evaluator) evalSerialCtx(ctx context.Context, p pattern.Node, stats *QueryStats) (*incident.Set, error) {
+	if stats != nil {
+		stats.Workers = 1
+	}
+	ctxDone := ctx.Done()
+	set := &incident.Set{}
+	for _, wid := range e.ix.WIDs() {
+		select {
+		case <-ctxDone:
+			return nil, ctx.Err()
+		default:
+		}
+		incs := e.evalWID(p, wid)
+		set.Add(incs...)
+		if stats != nil {
+			stats.Instances++
+			stats.Incidents += len(incs)
+		}
+	}
+	set.Normalize()
+	return set, nil
 }
 
 // ExistsParallel is Exists with a parallel scan over instances; it still

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wlq/internal/core/pattern"
+)
+
+func TestEvalParallelCtxStats(t *testing.T) {
+	traces := make([][]string, 32)
+	for i := range traces {
+		traces[i] = []string{"A", "B"}
+	}
+	l := buildLog(t, traces...)
+	e := New(NewIndex(l), Options{})
+	p := pattern.MustParse("A . B")
+	for _, workers := range []int{1, 4} {
+		var qs QueryStats
+		set, err := e.EvalParallelCtx(context.Background(), p, workers, &qs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if set.Len() != 32 {
+			t.Errorf("workers=%d: %d incidents, want 32", workers, set.Len())
+		}
+		if qs.Workers != workers {
+			t.Errorf("workers=%d: stats.Workers = %d", workers, qs.Workers)
+		}
+		if qs.Instances != 32 {
+			t.Errorf("workers=%d: stats.Instances = %d, want 32", workers, qs.Instances)
+		}
+		if qs.Incidents != 32 {
+			t.Errorf("workers=%d: stats.Incidents = %d, want 32", workers, qs.Incidents)
+		}
+	}
+}
+
+func TestEvalParallelCtxNilStats(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"}, []string{"A", "B"})
+	e := New(NewIndex(l), Options{})
+	set, err := e.EvalParallelCtx(context.Background(), pattern.MustParse("A -> B"), 2, nil)
+	if err != nil || set.Len() != 2 {
+		t.Fatalf("got (%v, %v), want 2 incidents", set, err)
+	}
+}
+
+func TestEvalParallelCtxCancelled(t *testing.T) {
+	traces := make([][]string, 16)
+	for i := range traces {
+		traces[i] = []string{"A", "B", "C"}
+	}
+	l := buildLog(t, traces...)
+	e := New(NewIndex(l), Options{})
+	p := pattern.MustParse("A -> C")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired before evaluation starts
+	for _, workers := range []int{1, 4} {
+		set, err := e.EvalParallelCtx(ctx, p, workers, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if set != nil {
+			t.Errorf("workers=%d: got a partial result on cancellation", workers)
+		}
+	}
+}
+
+func TestEvalParallelCtxDeadline(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"})
+	e := New(NewIndex(l), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, err := e.EvalParallelCtx(ctx, pattern.MustParse("A"), 2, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,52 @@
+package pattern
+
+import "sort"
+
+// Canonical rewrites p into a canonical representative of its
+// syntactic-equivalence class under associativity (Theorem 2) and
+// commutativity (Theorem 3): maximal chains of one operator are flattened
+// and rebuilt left-deep, and the operand lists of commutative chains are
+// sorted by their canonical printed form. Patterns equal under those laws
+// canonicalize identically; equalities that need Theorem 4, Theorem 5 or
+// Definition 4 reasoning are not normalized. The input is never mutated.
+func Canonical(p Node) Node {
+	b, ok := p.(*Binary)
+	if !ok {
+		return Clone(p)
+	}
+	// Flatten the maximal chain of exactly this operator (not the mixed
+	// ⊙/≺ family of Theorem 4: canonical form must preserve the operator
+	// sequence).
+	var operands []Node
+	var rec func(n Node)
+	rec = func(n Node) {
+		if nb, ok := n.(*Binary); ok && nb.Op == b.Op {
+			rec(nb.Left)
+			rec(nb.Right)
+			return
+		}
+		operands = append(operands, Canonical(n))
+	}
+	rec(b)
+	if b.Op.Commutative() {
+		sort.SliceStable(operands, func(i, j int) bool {
+			return operands[i].String() < operands[j].String()
+		})
+	}
+	acc := operands[0]
+	for _, o := range operands[1:] {
+		acc = &Binary{Op: b.Op, Left: acc, Right: o}
+	}
+	return acc
+}
+
+// CanonicalKey returns a serialization of p suitable as a cache key:
+// the textual rendering of Canonical(p). Two patterns that are equal
+// modulo associativity and commutativity produce identical keys, so a
+// result cache keyed on CanonicalKey serves `B | A` from the entry
+// populated by `A | B`. The key is itself valid query syntax: parsing it
+// yields a pattern with the same key (a fixpoint), which the cache-key
+// round-trip tests rely on.
+func CanonicalKey(p Node) string {
+	return Canonical(p).String()
+}

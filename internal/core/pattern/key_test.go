@@ -1,0 +1,137 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCanonicalKeyACInvariance(t *testing.T) {
+	// Each group lists queries equal modulo associativity (Theorem 2) and
+	// commutativity (Theorem 3); every member must share one key, and keys
+	// must differ across groups.
+	groups := [][]string{
+		{"A | B", "B | A", "(A) | (B)"},
+		{"A | B | C", "C | (A | B)", "(B | C) | A", "B | (C | A)"},
+		{"A & B & C", "C & B & A", "A & (B & C)"},
+		{"A -> B -> C", "(A -> B) -> C", "A -> (B -> C)"},
+		{"A . B . C", "A . (B . C)"},
+		{"A -> B", "A -> B"},
+		{"B -> A"},
+		{"A . B"},
+		{"(A -> B) | (A -> C)", "(A -> C) | (A -> B)"},
+		{"!A | B[x>1]", "B[x>1] | !A"},
+		// Theorem 4 (⊙/≺ interchange) is deliberately NOT normalized:
+		{"A . B -> C"},
+		{"A -> B . C"},
+	}
+	seen := make(map[string]int)
+	for gi, group := range groups {
+		var key string
+		for _, q := range group {
+			p := MustParse(q)
+			k := CanonicalKey(p)
+			if key == "" {
+				key = k
+			} else if k != key {
+				t.Errorf("group %d: CanonicalKey(%q) = %q, want %q", gi, q, k, key)
+			}
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("groups %d and %d collide on key %q", prev, gi, key)
+		}
+		seen[key] = gi
+	}
+}
+
+func TestCanonicalKeyRoundTrip(t *testing.T) {
+	// The key is valid query syntax and a fixpoint: parsing the key and
+	// re-keying yields the identical string, and the parsed pattern is
+	// AC-equal to the original's canonical form.
+	queries := []string{
+		"A",
+		"!A",
+		`"two words"[balance>5000]`,
+		"A | B | C & D",
+		"(D | C) & B -> A",
+		"SeeDoctor -> (UpdateRefer -> GetReimburse)",
+		"(A -> B) | (A -> C) | (B . C)",
+		"!A . B[x>1] . C | A & D",
+	}
+	for _, q := range queries {
+		p := MustParse(q)
+		key := CanonicalKey(p)
+		back, err := Parse(key)
+		if err != nil {
+			t.Fatalf("CanonicalKey(%q) = %q does not parse: %v", q, key, err)
+		}
+		if got := CanonicalKey(back); got != key {
+			t.Errorf("key of %q is not a fixpoint: %q -> %q", q, key, got)
+		}
+		if !Equal(Canonical(p), back) {
+			t.Errorf("parse(CanonicalKey(%q)) is not the canonical pattern", q)
+		}
+	}
+}
+
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	p := MustParse("C | B | A")
+	before := p.String()
+	_ = Canonical(p)
+	if p.String() != before {
+		t.Fatalf("Canonical mutated its input: %q -> %q", before, p.String())
+	}
+}
+
+// TestCanonicalKeyRandomShuffles builds random patterns, randomly rotates
+// and commutes their chains (only law-preserving edits), and checks the key
+// is invariant.
+func TestCanonicalKeyRandomShuffles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"A", "B", "C", "D", "E"}
+	ops := []Op{OpConsecutive, OpSequential, OpChoice, OpParallel}
+	var gen func(depth int) Node
+	gen = func(depth int) Node {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			a := &Atom{Activity: names[rng.Intn(len(names))]}
+			if rng.Intn(4) == 0 {
+				a.Negated = true
+			}
+			return a
+		}
+		return &Binary{
+			Op:    ops[rng.Intn(len(ops))],
+			Left:  gen(depth - 1),
+			Right: gen(depth - 1),
+		}
+	}
+	// shuffle applies random rotations (all ops) and swaps (commutative
+	// ops) — exactly the Theorem 2/3 moves CanonicalKey must absorb.
+	var shuffle func(n Node) Node
+	shuffle = func(n Node) Node {
+		b, ok := n.(*Binary)
+		if !ok {
+			return n
+		}
+		out := &Binary{Op: b.Op, Left: shuffle(b.Left), Right: shuffle(b.Right)}
+		if out.Op.Commutative() && rng.Intn(2) == 0 {
+			out.Left, out.Right = out.Right, out.Left
+		}
+		// Rotate (a op b) op c  <->  a op (b op c) when shapes allow.
+		if l, ok := out.Left.(*Binary); ok && l.Op == out.Op && rng.Intn(2) == 0 {
+			out = &Binary{Op: out.Op, Left: l.Left,
+				Right: &Binary{Op: out.Op, Left: l.Right, Right: out.Right}}
+		}
+		return out
+	}
+	for i := 0; i < 200; i++ {
+		p := gen(4)
+		key := CanonicalKey(p)
+		for j := 0; j < 3; j++ {
+			q := shuffle(p)
+			if got := CanonicalKey(q); got != key {
+				t.Fatalf("iter %d: shuffled key %q != %q\noriginal: %s\nshuffled: %s",
+					i, got, key, p, q)
+			}
+		}
+	}
+}

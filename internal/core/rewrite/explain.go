@@ -1,0 +1,65 @@
+package rewrite
+
+import "wlq/internal/core/pattern"
+
+// Trace is the machine-readable account of one optimizer run, for EXPLAIN
+// surfaces (the CLI's -explain and the query service's /v1/explain): the
+// input and output patterns with their full cost-model estimates, and the
+// transformations applied. Explanation remains the compact human-readable
+// form; Trace carries the numbers it summarizes.
+type Trace struct {
+	// Input is the pattern as written; Output the pattern the evaluator
+	// will run (equal to Input when no rewrite fired).
+	Input, Output pattern.Node
+	// Before and After are the Lemma 1 estimates (cost, output
+	// cardinality per instance, atom count) of Input and Output.
+	Before, After Estimate
+	// Steps names the transformations applied, in order (empty when the
+	// optimizer left the pattern unchanged).
+	Steps []string
+}
+
+// Changed reports whether the optimizer produced a different pattern.
+func (t Trace) Changed() bool { return !pattern.Equal(t.Input, t.Output) }
+
+// Explain optimizes p exactly as Optimize does and returns the optimized
+// pattern together with the full trace.
+func Explain(p pattern.Node, stats Stats) (pattern.Node, Trace) {
+	est := NewEstimator(stats)
+	out, ex := Optimize(p, stats)
+	return out, Trace{
+		Input:  pattern.Clone(p),
+		Output: out,
+		Before: est.Estimate(p),
+		After:  est.Estimate(out),
+		Steps:  ex.Steps,
+	}
+}
+
+// Selectivities exposes the cost model's assumed selectivity constants —
+// the fractions of the Lemma 1 worst case n1·n2 each operator is assumed
+// to output, and the fraction of records assumed to pass one attribute
+// guard. They are documented assumptions, not measurements: the paper's
+// model has no histograms, so the estimator uses fixed textbook defaults
+// (cf. Selinger). EXPLAIN output surfaces them so users can judge how much
+// to trust a reported estimate.
+type Selectivities struct {
+	// Guard is the assumed fraction of records passing one attribute guard.
+	Guard float64
+	// Consecutive, Sequential, Parallel are each operator's assumed output
+	// cardinality as a fraction of n1·n2. Choice has no constant: its
+	// output is estimated as n1+n2 exactly.
+	Consecutive float64
+	Sequential  float64
+	Parallel    float64
+}
+
+// ModelSelectivities returns the constants the estimator uses.
+func ModelSelectivities() Selectivities {
+	return Selectivities{
+		Guard:       guardSelectivity,
+		Consecutive: consecutiveSelectivity,
+		Sequential:  sequentialSelectivity,
+		Parallel:    parallelSelectivity,
+	}
+}

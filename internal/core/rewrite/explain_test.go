@@ -1,0 +1,66 @@
+package rewrite
+
+import (
+	"testing"
+
+	"wlq/internal/core/pattern"
+)
+
+func TestExplainMatchesOptimize(t *testing.T) {
+	stats := UniformStats{}
+	for _, q := range []string{
+		"A",
+		"A -> B",
+		"(A -> B) | (A -> C)",
+		"A -> B -> C -> D",
+		"A & B & C | D",
+	} {
+		p := pattern.MustParse(q)
+		opt, ex := Optimize(p, stats)
+		got, tr := Explain(p, stats)
+		if !pattern.Equal(opt, got) {
+			t.Errorf("%q: Explain output %s differs from Optimize output %s", q, got, opt)
+		}
+		if !pattern.Equal(tr.Input, p) || !pattern.Equal(tr.Output, got) {
+			t.Errorf("%q: trace input/output mismatch", q)
+		}
+		if tr.Before.Cost != ex.Before || tr.After.Cost != ex.After {
+			t.Errorf("%q: trace costs (%g, %g) != explanation costs (%g, %g)",
+				q, tr.Before.Cost, tr.After.Cost, ex.Before, ex.After)
+		}
+		if tr.After.Cost > tr.Before.Cost {
+			t.Errorf("%q: optimizer made the plan costlier: %g -> %g", q, tr.Before.Cost, tr.After.Cost)
+		}
+		if tr.Changed() != !pattern.Equal(p, got) {
+			t.Errorf("%q: Changed() = %v inconsistent with patterns", q, tr.Changed())
+		}
+		if len(tr.Steps) != len(ex.Steps) {
+			t.Errorf("%q: trace steps %v != explanation steps %v", q, tr.Steps, ex.Steps)
+		}
+	}
+}
+
+func TestExplainDoesNotAliasInput(t *testing.T) {
+	p := pattern.MustParse("A -> B")
+	_, tr := Explain(p, UniformStats{})
+	tr.Input.(*pattern.Binary).Left = pattern.NewAtom("X")
+	if p.String() != "A -> B" {
+		t.Fatalf("mutating the trace input changed the caller's pattern: %s", p)
+	}
+}
+
+func TestModelSelectivities(t *testing.T) {
+	s := ModelSelectivities()
+	if s.Guard != guardSelectivity || s.Consecutive != consecutiveSelectivity ||
+		s.Sequential != sequentialSelectivity || s.Parallel != parallelSelectivity {
+		t.Fatalf("ModelSelectivities() = %+v does not match the package constants", s)
+	}
+	for name, v := range map[string]float64{
+		"guard": s.Guard, "consecutive": s.Consecutive,
+		"sequential": s.Sequential, "parallel": s.Parallel,
+	} {
+		if v <= 0 || v > 1 {
+			t.Errorf("%s selectivity %g outside (0, 1]", name, v)
+		}
+	}
+}

@@ -251,35 +251,10 @@ func rebuildCommutative(op pattern.Op, operands []pattern.Node, est *Estimator) 
 // commutativity (Theorem 3): associative chains are flattened and rebuilt
 // left-deep, and the operand lists of commutative chains are sorted by
 // their printed form. Patterns equal under those laws canonicalize
-// identically (Theorem 4/5 equalities are not normalized).
+// identically (Theorem 4/5 equalities are not normalized). It delegates to
+// pattern.Canonical, which also backs the query service's cache keys.
 func Canonicalize(p pattern.Node) pattern.Node {
-	b, ok := p.(*pattern.Binary)
-	if !ok {
-		return pattern.Clone(p)
-	}
-	// Flatten the maximal chain of exactly this operator (not the mixed
-	// ⊙/≺ family: canonical form must preserve the operator sequence).
-	var operands []pattern.Node
-	var rec func(n pattern.Node)
-	rec = func(n pattern.Node) {
-		if nb, ok := n.(*pattern.Binary); ok && nb.Op == b.Op {
-			rec(nb.Left)
-			rec(nb.Right)
-			return
-		}
-		operands = append(operands, Canonicalize(n))
-	}
-	rec(b)
-	if b.Op.Commutative() {
-		sort.SliceStable(operands, func(i, j int) bool {
-			return operands[i].String() < operands[j].String()
-		})
-	}
-	acc := operands[0]
-	for _, o := range operands[1:] {
-		acc = &pattern.Binary{Op: b.Op, Left: acc, Right: o}
-	}
-	return acc
+	return pattern.Canonical(p)
 }
 
 // EquivalentModuloAC reports whether two patterns are provably equivalent

@@ -415,6 +415,31 @@ func WriteFile(path string, l *wlog.Log) (err error) {
 	return Encode(f, l, format)
 }
 
+// ReadFileAny reads a validated log from path like ReadFile, but also
+// accepts the import formats: .csv (headered event log) and .xes
+// (IEEE 1849), both with default import options. It is the one-stop loader
+// the CLI and the query service use for file arguments.
+func ReadFileAny(path string) (*wlog.Log, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ImportCSV(f, CSVOptions{})
+	case ".xes":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ImportXES(f, XESOptions{})
+	default:
+		return ReadFile(path)
+	}
+}
+
 // ReadFile reads a validated log from path, inferring the format from the
 // extension.
 func ReadFile(path string) (*wlog.Log, error) {

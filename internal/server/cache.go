@@ -1,0 +1,106 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/core/rewrite"
+)
+
+// cacheEntry is one cached query: the compiled plan (the optimized pattern
+// plus the rewrite trace that produced it) and the materialized result set.
+// The eval.Index is immutable, so a cached result stays valid for the
+// lifetime of the loaded log; entries are only ever displaced by LRU
+// pressure, never invalidated.
+//
+// Entries are shared between concurrent readers and must be treated as
+// read-only: the incident set and the plan are never mutated after insert.
+type cacheEntry struct {
+	plan  pattern.Node
+	trace rewrite.Trace
+	set   *incident.Set
+}
+
+// lru is a mutex-guarded least-recently-used cache from canonical query
+// keys to cache entries. A nil *lru (caching disabled) is valid: get
+// always misses and put is a no-op.
+type lru struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used; values are *lruItem
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+// newLRU creates a cache holding at most max entries; max <= 0 disables
+// caching (returns nil).
+func newLRU(max int) *lru {
+	if max <= 0 {
+		return nil
+	}
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *lru) get(key string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru) put(key string, e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		c.evictions++
+	}
+}
+
+// len returns the current number of entries.
+func (c *lru) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evicted returns the number of entries displaced so far.
+func (c *lru) evicted() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters exported at GET /metrics. Counters are
+// atomics; the latency reservoir keeps the most recent samples and computes
+// percentiles at scrape time (expvar-style: a flat JSON document, cheap to
+// poll).
+type metrics struct {
+	start time.Time
+
+	queriesTotal       atomic.Uint64
+	queryErrors        atomic.Uint64
+	queryTimeouts      atomic.Uint64
+	cacheHits          atomic.Uint64
+	cacheMisses        atomic.Uint64
+	incidentsReturned  atomic.Uint64
+	instancesEvaluated atomic.Uint64
+	inflight           atomic.Int64
+	busyWorkers        atomic.Int64
+
+	lat latencyRing
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// latencyRing is a fixed-size ring of the most recent query latencies, in
+// microseconds. Percentiles over a bounded recent window track current
+// behavior instead of averaging over the whole process lifetime.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [1024]int64
+	n       int // filled slots, up to len(samples)
+	next    int // write cursor
+	count   uint64
+	max     int64
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	us := d.Microseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[r.next] = us
+	r.next = (r.next + 1) % len(r.samples)
+	if r.n < len(r.samples) {
+		r.n++
+	}
+	r.count++
+	if us > r.max {
+		r.max = us
+	}
+}
+
+// percentiles returns (count, p50, p95, p99, max) over the current window.
+func (r *latencyRing) percentiles() (count uint64, p50, p95, p99, max int64) {
+	r.mu.Lock()
+	window := make([]int64, r.n)
+	copy(window, r.samples[:r.n])
+	count, max = r.count, r.max
+	r.mu.Unlock()
+	if len(window) == 0 {
+		return count, 0, 0, 0, max
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	// Nearest-rank percentile: the smallest sample with at least p of the
+	// window at or below it (never under-reports the tail).
+	at := func(p float64) int64 {
+		i := int(math.Ceil(p*float64(len(window)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return window[i]
+	}
+	return count, at(0.50), at(0.95), at(0.99), max
+}
+
+// latencyDoc is the latency section of the metrics document.
+type latencyDoc struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50_us"`
+	P95   int64  `json:"p95_us"`
+	P99   int64  `json:"p99_us"`
+	Max   int64  `json:"max_us"`
+}
+
+// metricsDoc is the full GET /metrics response.
+type metricsDoc struct {
+	UptimeSeconds      float64    `json:"uptime_seconds"`
+	LogsLoaded         int        `json:"logs_loaded"`
+	QueriesTotal       uint64     `json:"queries_total"`
+	QueryErrors        uint64     `json:"query_errors"`
+	QueryTimeouts      uint64     `json:"query_timeouts"`
+	CacheHits          uint64     `json:"cache_hits"`
+	CacheMisses        uint64     `json:"cache_misses"`
+	CacheEntries       int        `json:"cache_entries"`
+	CacheEvictions     uint64     `json:"cache_evictions"`
+	IncidentsReturned  uint64     `json:"incidents_returned"`
+	InstancesEvaluated uint64     `json:"instances_evaluated"`
+	InflightQueries    int64      `json:"inflight_queries"`
+	WorkersPerQuery    int        `json:"workers_per_query"`
+	BusyWorkers        int64      `json:"busy_workers"`
+	WorkerCapacity     int        `json:"worker_capacity"`
+	WorkerUtilization  float64    `json:"worker_utilization"`
+	Latency            latencyDoc `json:"latency"`
+}
+
+// snapshot assembles the metrics document. workersPerQuery is the resolved
+// per-query worker count; logs and cache supply their own gauges.
+func (m *metrics) snapshot(logsLoaded, workersPerQuery int, cache *lru) metricsDoc {
+	count, p50, p95, p99, max := m.lat.percentiles()
+	capacity := runtime.GOMAXPROCS(0)
+	busy := m.busyWorkers.Load()
+	util := 0.0
+	if capacity > 0 {
+		util = float64(busy) / float64(capacity)
+	}
+	return metricsDoc{
+		UptimeSeconds:      time.Since(m.start).Seconds(),
+		LogsLoaded:         logsLoaded,
+		QueriesTotal:       m.queriesTotal.Load(),
+		QueryErrors:        m.queryErrors.Load(),
+		QueryTimeouts:      m.queryTimeouts.Load(),
+		CacheHits:          m.cacheHits.Load(),
+		CacheMisses:        m.cacheMisses.Load(),
+		CacheEntries:       cache.len(),
+		CacheEvictions:     cache.evicted(),
+		IncidentsReturned:  m.incidentsReturned.Load(),
+		InstancesEvaluated: m.instancesEvaluated.Load(),
+		InflightQueries:    m.inflight.Load(),
+		WorkersPerQuery:    workersPerQuery,
+		BusyWorkers:        busy,
+		WorkerCapacity:     capacity,
+		WorkerUtilization:  util,
+		Latency:            latencyDoc{Count: count, P50: p50, P95: p95, P99: p99, Max: max},
+	}
+}

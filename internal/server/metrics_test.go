@@ -1,0 +1,56 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRingPercentiles(t *testing.T) {
+	var r latencyRing
+	if count, p50, p95, p99, max := r.percentiles(); count != 0 || p50 != 0 || p95 != 0 || p99 != 0 || max != 0 {
+		t.Fatal("empty ring must report zeros")
+	}
+	// 1..100 microseconds: nearest-rank percentiles are exact.
+	for i := 1; i <= 100; i++ {
+		r.observe(time.Duration(i) * time.Microsecond)
+	}
+	count, p50, p95, p99, max := r.percentiles()
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if p50 != 50 || p95 != 95 || p99 != 99 || max != 100 {
+		t.Errorf("p50=%d p95=%d p99=%d max=%d, want 50/95/99/100", p50, p95, p99, max)
+	}
+}
+
+func TestLatencyRingTailNotUnderReported(t *testing.T) {
+	// Two samples: the tail percentiles must report the slow one.
+	var r latencyRing
+	r.observe(161 * time.Microsecond)
+	r.observe(94 * time.Microsecond)
+	_, p50, p95, p99, _ := r.percentiles()
+	if p50 != 94 {
+		t.Errorf("p50 = %d, want 94", p50)
+	}
+	if p95 != 161 || p99 != 161 {
+		t.Errorf("p95=%d p99=%d, want 161/161", p95, p99)
+	}
+}
+
+func TestLatencyRingWraps(t *testing.T) {
+	var r latencyRing
+	n := len(r.samples)
+	for i := 0; i < n+10; i++ {
+		r.observe(time.Duration(i+1) * time.Microsecond)
+	}
+	count, _, _, _, max := r.percentiles()
+	if count != uint64(n+10) {
+		t.Errorf("count = %d, want %d", count, n+10)
+	}
+	if max != int64(n+10) {
+		t.Errorf("max = %d, want %d", max, n+10)
+	}
+	if r.n != n {
+		t.Errorf("window size %d, want %d", r.n, n)
+	}
+}

@@ -1,0 +1,556 @@
+// Package server implements wlq-serve: a long-running HTTP query service
+// over workflow logs. It loads logs once at startup, builds the per-wid
+// eval.Index for each, and serves pattern queries with plan/result caching.
+//
+// Endpoints:
+//
+//	POST /v1/query    parse → rewrite → parallel evaluation (JSON in/out)
+//	GET  /v1/explain  the optimizer's rewrite trace and cost estimates
+//	GET  /v1/logs     loaded-log inventory and validity status
+//	GET  /metrics     expvar-style service counters
+//
+// The Index is immutable after load, so concurrent queries share it without
+// locks and cached result sets never need invalidation. The result cache is
+// an LRU keyed on (log, canonicalized pattern, limit): queries equal modulo
+// associativity and commutativity (Theorems 2–3) share one entry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/core/rewrite"
+	"wlq/internal/wlog"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultCacheSize = 256
+	DefaultTimeout   = 10 * time.Second
+	DefaultMaxBody   = 1 << 20 // 1 MiB
+)
+
+// Config tunes the service. The zero value serves with merge joins,
+// GOMAXPROCS workers, a 256-entry cache, a 10s per-request timeout and a
+// 1 MiB request-body cap.
+type Config struct {
+	// Workers is the per-query evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the maximum number of cached (plan, result) entries;
+	// 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// Timeout bounds each request's evaluation time (0 = DefaultTimeout).
+	// Requests may lower it per call, never raise it.
+	Timeout time.Duration
+	// MaxBodyBytes caps the size of request bodies (0 = DefaultMaxBody).
+	MaxBodyBytes int64
+	// Strategy is the default join implementation (0 = merge).
+	Strategy eval.Strategy
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBody
+	}
+	if c.Strategy == 0 {
+		c.Strategy = eval.StrategyMerge
+	}
+	return c
+}
+
+// logEntry is one loaded log with its prebuilt index.
+type logEntry struct {
+	name   string
+	source string
+	log    *wlog.Log
+	ix     *eval.Index
+	valid  bool
+	reason string // validation error text when !valid
+}
+
+// Server is the query service. Safe for concurrent use; logs are loaded
+// before serving (AddLog) and immutable afterwards.
+type Server struct {
+	cfg     Config
+	mu      sync.RWMutex
+	logs    map[string]*logEntry
+	names   []string // registration order, for stable /v1/logs listings
+	cache   *lru
+	metrics *metrics
+}
+
+// New creates a Server with no logs loaded.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		logs:    make(map[string]*logEntry),
+		cache:   newLRU(cfg.CacheSize),
+		metrics: newMetrics(),
+	}
+}
+
+// AddLog registers a log under a name and builds its index. source is a
+// human-readable origin (file path or generator spec) echoed by /v1/logs.
+// The log's Definition 2 validity is checked and reported, but even an
+// invalid log is served (the index tolerates it; /v1/logs flags it).
+func (s *Server) AddLog(name, source string, l *wlog.Log) error {
+	if name == "" {
+		return errors.New("server: empty log name")
+	}
+	if l == nil {
+		return fmt.Errorf("server: nil log %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.logs[name]; dup {
+		return fmt.Errorf("server: duplicate log name %q", name)
+	}
+	e := &logEntry{name: name, source: source, log: l, ix: eval.NewIndex(l), valid: true}
+	if err := l.Validate(); err != nil {
+		e.valid, e.reason = false, err.Error()
+	}
+	s.logs[name] = e
+	s.names = append(s.names, name)
+	return nil
+}
+
+// lookup resolves a log name; a single loaded log may be addressed with an
+// empty name (the common one-log deployment).
+func (s *Server) lookup(name string) (*logEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" && len(s.names) == 1 {
+		return s.logs[s.names[0]], nil
+	}
+	e, ok := s.logs[name]
+	if !ok {
+		if name == "" {
+			return nil, fmt.Errorf("log name required (loaded: %d logs)", len(s.names))
+		}
+		return nil, fmt.Errorf("unknown log %q", name)
+	}
+	return e, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/logs", s.handleLogs)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Log names the loaded log to query (optional when one log is loaded).
+	Log string `json:"log"`
+	// Query is the incident-pattern query text.
+	Query string `json:"query"`
+	// Mode selects the answer shape: "incidents" (default), "exists",
+	// "count", or "instances".
+	Mode string `json:"mode,omitempty"`
+	// Strategy overrides the join implementation: "merge" or "naive".
+	Strategy string `json:"strategy,omitempty"`
+	// NoOptimize evaluates the pattern exactly as written, bypassing both
+	// the Theorem 2–5 rewriter and the cache.
+	NoOptimize bool `json:"no_optimize,omitempty"`
+	// Limit caps (best effort) incidents per operator per instance.
+	// Results depend on it, so it is part of the cache key.
+	Limit int `json:"limit,omitempty"`
+	// Workers overrides the per-query parallelism (capped by the server's
+	// configured value).
+	Workers int `json:"workers,omitempty"`
+	// MaxResults truncates the incidents array in the response (the full
+	// set is still computed and cached); 0 returns everything.
+	MaxResults int `json:"max_results,omitempty"`
+	// TimeoutMS lowers the per-request timeout; it cannot raise it above
+	// the server's configured value.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// incidentDoc is the wire form of one incident.
+type incidentDoc struct {
+	WID  uint64   `json:"wid"`
+	Seqs []uint64 `json:"seqs"`
+}
+
+// queryResponse is the POST /v1/query result.
+type queryResponse struct {
+	Log       string        `json:"log"`
+	Query     string        `json:"query"`
+	Canonical string        `json:"canonical"`
+	Plan      string        `json:"plan"`
+	Strategy  string        `json:"strategy"`
+	Mode      string        `json:"mode"`
+	Cached    bool          `json:"cached"`
+	ElapsedUS int64         `json:"elapsed_us"`
+	Count     int           `json:"count"`
+	Exists    bool          `json:"exists"`
+	Instances []uint64      `json:"instances,omitempty"`
+	Incidents []incidentDoc `json:"incidents,omitempty"`
+	Truncated bool          `json:"truncated,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.queriesTotal.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	started := time.Now()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.queryErrors.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	if req.Query == "" {
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "incidents"
+	}
+	switch mode {
+	case "incidents", "exists", "count", "instances":
+	default:
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest,
+			"unknown mode %q (want incidents, exists, count or instances)", mode)
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy, s.cfg.Strategy)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Limit < 0 || req.Workers < 0 || req.MaxResults < 0 || req.TimeoutMS < 0 {
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "limit, workers, max_results and timeout_ms must be >= 0")
+		return
+	}
+	entry, err := s.lookup(req.Log)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	p, err := pattern.Parse(req.Query)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "parse error: %v", err)
+		return
+	}
+
+	canonical := pattern.CanonicalKey(p)
+	cacheKey := fmt.Sprintf("%s\x00%s\x00limit=%d", entry.name, canonical, req.Limit)
+	cacheable := !req.NoOptimize
+
+	var (
+		ce     *cacheEntry
+		cached bool
+	)
+	if cacheable {
+		ce, cached = s.cache.get(cacheKey)
+	}
+	if cached {
+		s.metrics.cacheHits.Add(1)
+	} else {
+		if cacheable {
+			s.metrics.cacheMisses.Add(1)
+		}
+		plan := pattern.Node(p)
+		var trace rewrite.Trace
+		if req.NoOptimize {
+			trace = rewrite.Trace{Input: p, Output: p}
+		} else {
+			plan, trace = rewrite.Explain(p, entry.ix)
+		}
+		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit})
+		workers := s.resolveWorkers(req.Workers, entry.ix)
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+		defer cancel()
+
+		var qs eval.QueryStats
+		s.metrics.busyWorkers.Add(int64(workers))
+		set, err := ev.EvalParallelCtx(ctx, plan, workers, &qs)
+		s.metrics.busyWorkers.Add(int64(-workers))
+		s.metrics.instancesEvaluated.Add(uint64(qs.Instances))
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.queryTimeouts.Add(1)
+				writeError(w, http.StatusGatewayTimeout,
+					"query exceeded the %v evaluation timeout", s.timeout(req.TimeoutMS))
+			} else {
+				s.metrics.queryErrors.Add(1)
+				writeError(w, http.StatusInternalServerError, "evaluation aborted: %v", err)
+			}
+			return
+		}
+		ce = &cacheEntry{plan: plan, trace: trace, set: set}
+		if cacheable {
+			s.cache.put(cacheKey, ce)
+		}
+	}
+
+	resp := queryResponse{
+		Log:       entry.name,
+		Query:     req.Query,
+		Canonical: canonical,
+		Plan:      ce.plan.String(),
+		Strategy:  strategy.String(),
+		Mode:      mode,
+		Cached:    cached,
+		Count:     ce.set.Len(),
+		Exists:    ce.set.Len() > 0,
+	}
+	switch mode {
+	case "instances":
+		resp.Instances = ce.set.WIDs()
+	case "incidents":
+		incs := ce.set.Incidents()
+		if req.MaxResults > 0 && len(incs) > req.MaxResults {
+			incs = incs[:req.MaxResults]
+			resp.Truncated = true
+		}
+		docs := make([]incidentDoc, len(incs))
+		for i, inc := range incs {
+			docs[i] = incidentDoc{WID: inc.WID(), Seqs: inc.Seqs()}
+		}
+		resp.Incidents = docs
+		s.metrics.incidentsReturned.Add(uint64(len(docs)))
+	}
+	elapsed := time.Since(started)
+	resp.ElapsedUS = elapsed.Microseconds()
+	s.metrics.lat.observe(elapsed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// timeout resolves the effective per-request timeout: the configured bound,
+// lowered (never raised) by the request's timeout_ms.
+func (s *Server) timeout(requestMS int) time.Duration {
+	t := s.cfg.Timeout
+	if requestMS > 0 {
+		if rt := time.Duration(requestMS) * time.Millisecond; rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// resolveWorkers mirrors eval's worker resolution so the busy-worker gauge
+// matches what EvalParallelCtx actually spawns: the configured (or lower
+// requested) count, capped by the instance count.
+func (s *Server) resolveWorkers(requested int, ix *eval.Index) int {
+	w := s.cfg.Workers
+	if requested > 0 && requested < w {
+		w = requested
+	}
+	if n := len(ix.WIDs()); w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func parseStrategy(name string, fallback eval.Strategy) (eval.Strategy, error) {
+	switch name {
+	case "":
+		return fallback, nil
+	case "merge":
+		return eval.StrategyMerge, nil
+	case "naive":
+		return eval.StrategyNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want merge or naive)", name)
+	}
+}
+
+// estimateDoc is the wire form of a rewrite.Estimate.
+type estimateDoc struct {
+	Cost            float64 `json:"cost"`
+	CardPerInstance float64 `json:"cardinality_per_instance"`
+	Atoms           int     `json:"atoms"`
+}
+
+func toEstimateDoc(e rewrite.Estimate) estimateDoc {
+	return estimateDoc{Cost: e.Cost, CardPerInstance: e.Card, Atoms: e.Atoms}
+}
+
+// selectivityDoc surfaces the cost model's assumed constants; see
+// rewrite.ModelSelectivities and docs/OPERATIONS.md for the assumptions.
+type selectivityDoc struct {
+	Guard       float64 `json:"guard"`
+	Consecutive float64 `json:"consecutive"`
+	Sequential  float64 `json:"sequential"`
+	Parallel    float64 `json:"parallel"`
+}
+
+// explainResponse is the GET /v1/explain result.
+type explainResponse struct {
+	Log           string         `json:"log"`
+	Query         string         `json:"query"`
+	PaperForm     string         `json:"paper_form"`
+	Canonical     string         `json:"canonical"`
+	IncidentTree  string         `json:"incident_tree"`
+	Optimized     string         `json:"optimized"`
+	Changed       bool           `json:"changed"`
+	Steps         []string       `json:"steps"`
+	Before        estimateDoc    `json:"before"`
+	After         estimateDoc    `json:"after"`
+	Strategy      string         `json:"strategy"`
+	Workers       int            `json:"workers"`
+	Selectivities selectivityDoc `json:"selectivities"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	entry, err := s.lookup(r.URL.Query().Get("log"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	p, err := pattern.Parse(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse error: %v", err)
+		return
+	}
+	opt, trace := rewrite.Explain(p, entry.ix)
+	sel := rewrite.ModelSelectivities()
+	steps := trace.Steps
+	if steps == nil {
+		steps = []string{}
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Log:          entry.name,
+		Query:        q,
+		PaperForm:    pattern.Pretty(p),
+		Canonical:    pattern.CanonicalKey(p),
+		IncidentTree: pattern.TreeString(p),
+		Optimized:    opt.String(),
+		Changed:      trace.Changed(),
+		Steps:        steps,
+		Before:       toEstimateDoc(trace.Before),
+		After:        toEstimateDoc(trace.After),
+		Strategy:     s.cfg.Strategy.String(),
+		Workers:      s.cfg.Workers,
+		Selectivities: selectivityDoc{
+			Guard:       sel.Guard,
+			Consecutive: sel.Consecutive,
+			Sequential:  sel.Sequential,
+			Parallel:    sel.Parallel,
+		},
+	})
+}
+
+// logDoc is one entry of the GET /v1/logs inventory.
+type logDoc struct {
+	Name              string `json:"name"`
+	Source            string `json:"source"`
+	Records           int    `json:"records"`
+	Instances         int    `json:"instances"`
+	CompleteInstances int    `json:"complete_instances"`
+	Activities        int    `json:"activities"`
+	Valid             bool   `json:"valid"`
+	Error             string `json:"error,omitempty"`
+}
+
+// logsResponse is the GET /v1/logs result.
+type logsResponse struct {
+	Logs []logDoc `json:"logs"`
+}
+
+func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*logEntry, 0, len(s.names))
+	for _, name := range s.names {
+		entries = append(entries, s.logs[name])
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	docs := make([]logDoc, len(entries))
+	for i, e := range entries {
+		complete := 0
+		for _, wid := range e.log.WIDs() {
+			if e.log.InstanceComplete(wid) {
+				complete++
+			}
+		}
+		docs[i] = logDoc{
+			Name:              e.name,
+			Source:            e.source,
+			Records:           e.log.Len(),
+			Instances:         len(e.log.WIDs()),
+			CompleteInstances: complete,
+			Activities:        len(e.ix.Activities()),
+			Valid:             e.valid,
+			Error:             e.reason,
+		}
+	}
+	writeJSON(w, http.StatusOK, logsResponse{Logs: docs})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	loaded := len(s.logs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(loaded, s.cfg.Workers, s.cache))
+}

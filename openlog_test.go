@@ -1,0 +1,58 @@
+package wlq_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wlq"
+)
+
+func TestOpenLogSpecs(t *testing.T) {
+	tests := []struct {
+		spec      string
+		wantInsts int // -1 = any positive count
+	}{
+		{"fig3", 3},
+		{"clinic:5:7", 5},
+		{"model:orders:4:1", 4},
+	}
+	for _, tt := range tests {
+		l, err := wlq.OpenLog(tt.spec)
+		if err != nil {
+			t.Errorf("OpenLog(%q): %v", tt.spec, err)
+			continue
+		}
+		if got := len(l.WIDs()); got != tt.wantInsts {
+			t.Errorf("OpenLog(%q): %d instances, want %d", tt.spec, got, tt.wantInsts)
+		}
+	}
+}
+
+func TestOpenLogFileRoundTrip(t *testing.T) {
+	l := wlq.ClinicFig3()
+	path := filepath.Join(t.TempDir(), "fig3.jsonl")
+	if err := wlq.SaveLog(path, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := wlq.OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(l) {
+		t.Fatal("OpenLog(file) did not round-trip the log")
+	}
+}
+
+func TestOpenLogErrors(t *testing.T) {
+	for _, spec := range []string{
+		"clinic:notanumber:7",
+		"clinic:5",
+		"model:nosuchmodel:4:1",
+		"model:orders:4",
+		filepath.Join(t.TempDir(), "missing.jsonl"),
+	} {
+		if _, err := wlq.OpenLog(spec); err == nil {
+			t.Errorf("OpenLog(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -34,6 +34,8 @@ package wlq
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"wlq/internal/analytics"
 	"wlq/internal/clinic"
@@ -43,6 +45,7 @@ import (
 	"wlq/internal/core/rewrite"
 	"wlq/internal/enact"
 	"wlq/internal/logio"
+	"wlq/internal/models"
 	"wlq/internal/stream"
 	"wlq/internal/wlog"
 )
@@ -107,6 +110,56 @@ func PatternTree(p Pattern) string { return pattern.TreeString(p) }
 // LoadLog reads a validated log from a file; the format is inferred from
 // the extension (.jsonl/.json or .log/.txt/.tsv).
 func LoadLog(path string) (*Log, error) { return logio.ReadFile(path) }
+
+// OpenLog resolves a log specification as accepted by the CLI tools' -log
+// flags and the query service's startup arguments:
+//
+//	fig3                            the paper's Figure 3 example log
+//	clinic:<instances>:<seed>       a generated clinic-referral log
+//	model:<name>:<instances>:<seed> a generated log of a named model
+//	<path>                          a log file; native formats by extension
+//	                                (.jsonl/.json/.log/.txt/.tsv) plus the
+//	                                .csv and .xes import formats
+func OpenLog(spec string) (*Log, error) {
+	switch {
+	case spec == "fig3":
+		return ClinicFig3(), nil
+	case strings.HasPrefix(spec, "clinic:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("malformed %q (want clinic:<instances>:<seed>)", spec)
+		}
+		instances, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("instances in %q: %w", spec, err)
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed in %q: %w", spec, err)
+		}
+		return ClinicLog(instances, seed)
+	case strings.HasPrefix(spec, "model:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("malformed %q (want model:<name>:<instances>:<seed>)", spec)
+		}
+		c, err := models.ByName(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		instances, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("instances in %q: %w", spec, err)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed in %q: %w", spec, err)
+		}
+		return c.Generate(instances, seed)
+	default:
+		return logio.ReadFileAny(spec)
+	}
+}
 
 // SaveLog writes a log to a file; the format is inferred from the extension.
 func SaveLog(path string, l *Log) error { return logio.WriteFile(path, l) }
