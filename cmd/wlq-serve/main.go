@@ -14,8 +14,13 @@
 // A bare spec is named after its basename ("referrals" for
 // /data/referrals.jsonl).
 //
-// Endpoints: POST /v1/query, GET /v1/explain, GET /v1/logs, GET /metrics.
-// See docs/OPERATIONS.md for the full reference.
+// Endpoints: POST /v1/query, GET /v1/explain, GET /v1/logs, GET /metrics
+// (JSON, or Prometheus text with ?format=prometheus), GET /healthz,
+// GET /readyz and GET /debug/pprof/*. See docs/OPERATIONS.md for the full
+// reference and docs/OBSERVABILITY.md for tracing and metrics.
+//
+// The service logs one structured line per request (slog, text by default,
+// JSON with -log-json) and warns about queries slower than -slow-query.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window before the listener closes.
@@ -27,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -74,6 +80,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxBody = fs.Int64("max-body", server.DefaultMaxBody, "request body size limit in bytes")
 		naive   = fs.Bool("naive", false, "default to the paper's verbatim Algorithm 1 joins")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		slow    = fs.Duration("slow-query", 500*time.Millisecond, "warn about queries slower than this (0 disables)")
+		pprofOn = fs.Bool("pprof", true, "expose the GET /debug/pprof/* profiling handlers")
+		logJSON = fs.Bool("log-json", false, "emit request logs as JSON instead of text")
+		noLog   = fs.Bool("no-request-log", false, "disable structured request logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,9 +98,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheSize:    *cache,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
+		SlowQuery:    *slow,
+		EnablePprof:  *pprofOn,
 	}
 	if *naive {
 		cfg.Strategy = wlq.StrategyNaive
+	}
+	if !*noLog {
+		if *logJSON {
+			cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		} else {
+			cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
 	}
 	srv := server.New(cfg)
 	for _, arg := range logs {

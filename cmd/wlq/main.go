@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,10 @@ import (
 	"wlq/internal/audit"
 	"wlq/internal/models"
 )
+
+// traceOut receives the -trace rendering (span tree + cost table). It goes
+// to stderr so piping incident output stays clean; tests override it.
+var traceOut io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -49,6 +54,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		naive       = fs.Bool("naive", false, "use the paper's verbatim Algorithm 1 joins")
 		noOpt       = fs.Bool("no-optimize", false, "disable the Theorem 2-5 query optimizer")
 		limit       = fs.Int("limit", 0, "best-effort cap on incidents per operator per instance (0 = unlimited)")
+		trace       = fs.Bool("trace", false, "print the execution trace (span tree and Lemma 1 cost table) to stderr")
 		stats       = fs.Bool("stats", false, "print log statistics and exit (no query needed)")
 		dfg         = fs.Bool("dfg", false, "print the directly-follows graph and exit (no query needed)")
 		conform     = fs.String("conform", "", "check every instance against this model (orders, loans, helpdesk) and exit")
@@ -166,9 +172,19 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		}
 		fmt.Fprint(out, report)
 	default:
-		set, err := engine.Query(*query)
-		if err != nil {
-			return err
+		var set *wlq.IncidentSet
+		if *trace {
+			var qt *wlq.QueryTrace
+			set, qt, err = engine.QueryTraced(context.Background(), *query)
+			if err != nil {
+				return err
+			}
+			qt.Render(traceOut)
+		} else {
+			set, err = engine.Query(*query)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(out, "%d incident(s)\n", set.Len())
 		for _, inc := range set.Incidents() {

@@ -288,3 +288,27 @@ func TestAuditFlag(t *testing.T) {
 	}
 	runErr(t, "-log", "fig3", "-audit", "bogus")
 }
+
+// TestTraceFlag: -trace renders the span tree and cost table to traceOut
+// (stderr in production) while incident output stays on stdout.
+func TestTraceFlag(t *testing.T) {
+	var trace bytes.Buffer
+	old := traceOut
+	traceOut = &trace
+	defer func() { traceOut = old }()
+
+	out := runOK(t, "-log", "fig3", "-naive", "-trace",
+		"-q", "(GetRefer -> GetReimburse) | (SeeDoctor & CheckIn)")
+	if !strings.Contains(out, "incident(s)") {
+		t.Errorf("stdout lost the incident listing:\n%s", out)
+	}
+	if strings.Contains(out, "cost_") || strings.Contains(out, "predicted") {
+		t.Errorf("trace leaked onto stdout:\n%s", out)
+	}
+	text := trace.String()
+	for _, want := range []string{"parse", "rewrite", "eval", "predicted", "n1·n2", "strategy: naive"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// operator produces per workflow instance. It is a safety valve against
 	// the O(m^k) worst case of Theorem 1, not an exact top-k.
 	Limit int
+	// Meter, when non-nil, attributes measured comparison work and the
+	// Lemma 1 predicted bounds to the nodes of the evaluated plan. It must
+	// be built (NewMeter) over the same pattern tree passed to Eval — nodes
+	// are matched by identity. Safe under EvalParallel: counters are atomic.
+	Meter *Meter
 }
 
 // Evaluator computes incident sets incL(p) over an indexed log, per
@@ -114,6 +119,9 @@ func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incid
 	if memo != nil {
 		memoKey = p.String()
 		if cached, ok := memo[memoKey]; ok {
+			if nm := e.opts.Meter.node(p); nm != nil {
+				nm.recordMemoHit()
+			}
 			return cached
 		}
 	}
@@ -124,7 +132,13 @@ func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incid
 	case *pattern.Binary:
 		left := e.evalNode(p.Left, wid, memo)
 		right := e.evalNode(p.Right, wid, memo)
-		out = e.applyOp(p.Op, left, right)
+		if nm := e.opts.Meter.node(p); nm != nil {
+			var cnt opCount
+			out = e.applyOp(p.Op, left, right, &cnt)
+			nm.recordOp(len(left), len(right), cnt.comparisons, len(out))
+		} else {
+			out = e.applyOp(p.Op, left, right, nil)
+		}
 	default:
 		panic(fmt.Sprintf("eval: unknown pattern node %T", p))
 	}
@@ -134,8 +148,9 @@ func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incid
 	return out
 }
 
-// applyOp dispatches OPERATOR-EVAL to the configured join family.
-func (e *Evaluator) applyOp(op pattern.Op, left, right []incident.Incident) []incident.Incident {
+// applyOp dispatches OPERATOR-EVAL to the configured join family. cnt, when
+// non-nil, tallies the join's record-level comparison work.
+func (e *Evaluator) applyOp(op pattern.Op, left, right []incident.Incident, cnt *opCount) []incident.Incident {
 	// Empty inputs: only choice can still produce incidents.
 	if op != pattern.OpChoice && (len(left) == 0 || len(right) == 0) {
 		return nil
@@ -144,24 +159,24 @@ func (e *Evaluator) applyOp(op pattern.Op, left, right []incident.Incident) []in
 	switch op {
 	case pattern.OpConsecutive:
 		if naive {
-			return naiveConsecutive(left, right, e.opts.Limit)
+			return naiveConsecutive(left, right, e.opts.Limit, cnt)
 		}
-		return mergeConsecutive(left, right, e.opts.Limit)
+		return mergeConsecutive(left, right, e.opts.Limit, cnt)
 	case pattern.OpSequential:
 		if naive {
-			return naiveSequential(left, right, e.opts.Limit)
+			return naiveSequential(left, right, e.opts.Limit, cnt)
 		}
-		return mergeSequential(left, right, e.opts.Limit)
+		return mergeSequential(left, right, e.opts.Limit, cnt)
 	case pattern.OpChoice:
 		if naive {
-			return naiveChoice(left, right, e.opts.Limit)
+			return naiveChoice(left, right, e.opts.Limit, cnt)
 		}
-		return mergeChoice(left, right, e.opts.Limit)
+		return mergeChoice(left, right, e.opts.Limit, cnt)
 	case pattern.OpParallel:
 		if naive {
-			return naiveParallel(left, right, e.opts.Limit)
+			return naiveParallel(left, right, e.opts.Limit, cnt)
 		}
-		return mergeParallel(left, right, e.opts.Limit)
+		return mergeParallel(left, right, e.opts.Limit, cnt)
 	default:
 		panic(fmt.Sprintf("eval: unknown operator %v", op))
 	}
@@ -201,6 +216,9 @@ func (e *Evaluator) evalAtom(a *pattern.Atom, wid uint64) []incident.Incident {
 		if limited(out, e.opts.Limit) {
 			break
 		}
+	}
+	if nm := e.opts.Meter.node(a); nm != nil {
+		nm.recordAtom(len(seqs), len(out))
 	}
 	return out
 }

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"sync/atomic"
+
+	"wlq/internal/core/pattern"
+)
+
+// Per-operator cost accounting. Lemma 1 bounds the join work of each
+// operator node by the sizes of its operand incident sets (n1, n2) and the
+// atom counts of its operand patterns (k1, k2):
+//
+//	⊙, ≺ : O(n1·n2)
+//	⊗    : O(n1·n2·min(k1,k2))
+//	⊕    : O(n1·n2·(k1+k2))
+//
+// A Meter attributes the comparisons the evaluator actually performs to the
+// nodes of one pattern plan, alongside the bound predicted from the actual
+// per-instance operand sizes — so a metered query yields a measured-vs-
+// predicted cost table (surfaced by internal/obs and the query service).
+//
+// Counters are atomic: the meter is shared by the workers of a parallel
+// evaluation without locks. The overhead per operator application is one
+// map lookup and a handful of atomic adds, negligible next to the join.
+
+// Meter collects per-node evaluation metrics for one plan. Build it with
+// NewMeter over the exact pattern tree passed to the evaluator (nodes are
+// keyed by identity) and hand it to the evaluator via Options.Meter. A nil
+// *Meter is valid and disables metering.
+type Meter struct {
+	nodes map[pattern.Node]*NodeMetrics
+	order []pattern.Node // pre-order, for stable reporting
+}
+
+// NewMeter allocates metrics storage for every node of the plan.
+func NewMeter(p pattern.Node) *Meter {
+	m := &Meter{nodes: make(map[pattern.Node]*NodeMetrics, pattern.Size(p))}
+	var walk func(n pattern.Node)
+	walk = func(n pattern.Node) {
+		nm := &NodeMetrics{}
+		if b, ok := n.(*pattern.Binary); ok {
+			nm.op = b.Op
+			nm.k1 = len(pattern.Atoms(b.Left))
+			nm.k2 = len(pattern.Atoms(b.Right))
+		} else {
+			nm.atom = true
+		}
+		m.nodes[n] = nm
+		m.order = append(m.order, n)
+		if b, ok := n.(*pattern.Binary); ok {
+			walk(b.Left)
+			walk(b.Right)
+		}
+	}
+	walk(p)
+	return m
+}
+
+// node returns the metrics slot for a plan node, or nil when the meter is
+// nil or the node is not part of the metered plan.
+func (m *Meter) node(p pattern.Node) *NodeMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.nodes[p]
+}
+
+// NodeMetrics accumulates the measured work of one plan node across all
+// instance evaluations. All counters are atomic; read them via Snapshot.
+type NodeMetrics struct {
+	op   pattern.Op // operator; zero for atoms
+	atom bool
+	k1   int // Lemma 1 k1: atoms in the left operand pattern
+	k2   int // Lemma 1 k2: atoms in the right operand pattern
+
+	evals       atomic.Uint64 // instance evaluations performed
+	memoHits    atomic.Uint64 // evaluations answered from the sub-pattern memo
+	leftInputs  atomic.Uint64 // Σ n1 over instance evaluations
+	rightInputs atomic.Uint64 // Σ n2 over instance evaluations
+	comparisons atomic.Uint64 // measured record-level comparisons
+	outputs     atomic.Uint64 // incidents produced (post-normalize)
+	predicted   atomic.Uint64 // Σ Lemma 1 bound, from the actual n1, n2
+}
+
+// predictedBound is the Lemma 1 join bound for one instance evaluation with
+// operand sizes n1, n2 and static atom counts k1, k2.
+func predictedBound(op pattern.Op, n1, n2 uint64, k1, k2 int) uint64 {
+	switch op {
+	case pattern.OpConsecutive, pattern.OpSequential:
+		return n1 * n2
+	case pattern.OpChoice:
+		k := k1
+		if k2 < k1 {
+			k = k2
+		}
+		return n1 * n2 * uint64(k)
+	case pattern.OpParallel:
+		return n1 * n2 * uint64(k1+k2)
+	default:
+		return 0
+	}
+}
+
+// recordOp accumulates one operator application over one instance.
+func (nm *NodeMetrics) recordOp(n1, n2 int, comparisons uint64, outputs int) {
+	nm.evals.Add(1)
+	nm.leftInputs.Add(uint64(n1))
+	nm.rightInputs.Add(uint64(n2))
+	nm.comparisons.Add(comparisons)
+	nm.outputs.Add(uint64(outputs))
+	nm.predicted.Add(predictedBound(nm.op, uint64(n1), uint64(n2), nm.k1, nm.k2))
+}
+
+// recordAtom accumulates one atomic lookup over one instance: candidates is
+// the number of index positions examined (the linear materialization work,
+// which is also the predicted bound for an atom), outputs the matches kept
+// after guards.
+func (nm *NodeMetrics) recordAtom(candidates, outputs int) {
+	nm.evals.Add(1)
+	nm.comparisons.Add(uint64(candidates))
+	nm.outputs.Add(uint64(outputs))
+	nm.predicted.Add(uint64(candidates))
+}
+
+// recordMemoHit notes an evaluation answered from the sub-pattern memo
+// (no join work was performed; no other counter moves).
+func (nm *NodeMetrics) recordMemoHit() { nm.memoHits.Add(1) }
+
+// NodeStats is a point-in-time copy of one node's metrics.
+type NodeStats struct {
+	// Node is the plan node the stats belong to.
+	Node pattern.Node
+	// Atom reports an atomic node; Op is meaningful only when !Atom.
+	Atom bool
+	Op   pattern.Op
+	// K1, K2 are the Lemma 1 atom counts of the operand patterns.
+	K1, K2 int
+	// Evals counts instance evaluations; MemoHits those answered from the
+	// sub-pattern memo instead (merge strategy only).
+	Evals, MemoHits uint64
+	// LeftInputs, RightInputs are Σ n1 and Σ n2 across instance evaluations.
+	LeftInputs, RightInputs uint64
+	// Comparisons is the measured record-level comparison work; Outputs the
+	// incidents produced.
+	Comparisons, Outputs uint64
+	// Predicted is the summed Lemma 1 bound computed from the actual
+	// per-instance operand sizes. Under StrategyNaive the measured
+	// comparisons never exceed it; merge joins usually do far less work but
+	// carry no per-instance guarantee on degenerate (1–2 element) inputs,
+	// where a binary-search probe can cost more than the linear bound.
+	Predicted uint64
+}
+
+// Snapshot returns the per-node stats in pre-order of the metered plan.
+func (m *Meter) Snapshot() []NodeStats {
+	if m == nil {
+		return nil
+	}
+	out := make([]NodeStats, 0, len(m.order))
+	for _, n := range m.order {
+		nm := m.nodes[n]
+		out = append(out, NodeStats{
+			Node:        n,
+			Atom:        nm.atom,
+			Op:          nm.op,
+			K1:          nm.k1,
+			K2:          nm.k2,
+			Evals:       nm.evals.Load(),
+			MemoHits:    nm.memoHits.Load(),
+			LeftInputs:  nm.leftInputs.Load(),
+			RightInputs: nm.rightInputs.Load(),
+			Comparisons: nm.comparisons.Load(),
+			Outputs:     nm.outputs.Load(),
+			Predicted:   nm.predicted.Load(),
+		})
+	}
+	return out
+}
+
+// TotalComparisons sums measured comparisons over all operator nodes.
+func (m *Meter) TotalComparisons() uint64 {
+	var total uint64
+	for _, st := range m.Snapshot() {
+		if !st.Atom {
+			total += st.Comparisons
+		}
+	}
+	return total
+}
+
+// opCount tallies the comparison work of one operator application; the ops
+// functions increment it and the evaluator folds it into the meter. A nil
+// receiver is valid and makes add a no-op, so unmetered evaluation pays
+// only a predictable branch per comparison.
+type opCount struct {
+	comparisons uint64
+}
+
+func (c *opCount) add(n uint64) {
+	if c != nil {
+		c.comparisons += n
+	}
+}

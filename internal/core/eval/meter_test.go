@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"testing"
+
+	"wlq/internal/core/pattern"
+)
+
+func TestMeterNaiveWithinLemma1Bound(t *testing.T) {
+	l := buildLog(t,
+		[]string{"A", "B", "A", "C", "B", "D"},
+		[]string{"B", "A", "C", "A", "D", "B"},
+		[]string{"A", "A", "B", "B", "C", "D"},
+	)
+	ix := NewIndex(l)
+	queries := []string{
+		"A . B",
+		"A -> B",
+		"A | B",
+		"A & B",
+		"(A -> B) | (C & D)",
+		"(A . B) -> (C | D)",
+		"(A & B) & (C -> D)",
+	}
+	for _, q := range queries {
+		p := pattern.MustParse(q)
+		m := NewMeter(p)
+		New(ix, Options{Strategy: StrategyNaive, Meter: m}).Eval(p)
+		for _, st := range m.Snapshot() {
+			if st.Atom {
+				continue
+			}
+			if st.Evals == 0 {
+				t.Errorf("%q node %v: never evaluated", q, st.Node)
+			}
+			if st.Comparisons > st.Predicted {
+				t.Errorf("%q node %v (%s): measured %d comparisons > Lemma 1 bound %d",
+					q, st.Node, st.Op.Name(), st.Comparisons, st.Predicted)
+			}
+		}
+	}
+}
+
+// TestMeterNaiveExactPairCount pins the ⊙/≺ counting unit: the naive join
+// examines every (left, right) pair exactly once, so with nonempty operands
+// the measured comparisons equal Σ n1·n2 — the bound is tight, not just an
+// upper limit.
+func TestMeterNaiveExactPairCount(t *testing.T) {
+	l := buildLog(t, []string{"A", "B", "A", "B"}, []string{"A", "A", "B"})
+	ix := NewIndex(l)
+	p := pattern.MustParse("A -> B")
+	m := NewMeter(p)
+	New(ix, Options{Strategy: StrategyNaive, Meter: m}).Eval(p)
+	for _, st := range m.Snapshot() {
+		if st.Atom {
+			continue
+		}
+		want := uint64(2*2 + 2*1) // instance 1: n1=2,n2=2; instance 2: n1=2,n2=1
+		if st.Comparisons != want {
+			t.Errorf("A -> B comparisons = %d, want %d", st.Comparisons, want)
+		}
+		if st.Predicted != want {
+			t.Errorf("A -> B predicted = %d, want %d", st.Predicted, want)
+		}
+		if st.K1 != 1 || st.K2 != 1 {
+			t.Errorf("k1,k2 = %d,%d, want 1,1", st.K1, st.K2)
+		}
+	}
+}
+
+// TestMeterMemoHits verifies repeated sub-patterns are answered from the
+// memo under the merge strategy and attributed as memo hits, not work.
+func TestMeterMemoHits(t *testing.T) {
+	l := buildLog(t, []string{"A", "B", "C"}, []string{"A", "C", "B"})
+	ix := NewIndex(l)
+	p := pattern.MustParse("(A -> B) | (A -> B)")
+	m := NewMeter(p)
+	New(ix, Options{Strategy: StrategyMerge, Meter: m}).Eval(p)
+	var hits uint64
+	for _, st := range m.Snapshot() {
+		hits += st.MemoHits
+	}
+	if hits == 0 {
+		t.Error("no memo hits recorded for a duplicated sub-pattern")
+	}
+}
+
+// TestMeterParallelMatchesSerial: the meter is shared by parallel workers;
+// totals must agree with a serial evaluation of the same plan.
+func TestMeterParallelMatchesSerial(t *testing.T) {
+	l := buildLog(t,
+		[]string{"A", "B", "C", "D"},
+		[]string{"B", "A", "D", "C"},
+		[]string{"A", "C", "B", "D"},
+		[]string{"D", "C", "B", "A"},
+	)
+	ix := NewIndex(l)
+	p := pattern.MustParse("(A -> B) & (C | D)")
+
+	serial := NewMeter(p)
+	New(ix, Options{Strategy: StrategyNaive, Meter: serial}).Eval(p)
+
+	par := NewMeter(p)
+	New(ix, Options{Strategy: StrategyNaive, Meter: par}).EvalParallel(p, 4)
+
+	ss, ps := serial.Snapshot(), par.Snapshot()
+	if len(ss) != len(ps) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i].Comparisons != ps[i].Comparisons || ss[i].Outputs != ps[i].Outputs ||
+			ss[i].Predicted != ps[i].Predicted {
+			t.Errorf("node %v: serial (cmp=%d out=%d pred=%d) != parallel (cmp=%d out=%d pred=%d)",
+				ss[i].Node, ss[i].Comparisons, ss[i].Outputs, ss[i].Predicted,
+				ps[i].Comparisons, ps[i].Outputs, ps[i].Predicted)
+		}
+	}
+}
+
+// TestMeterNilSafe: a nil meter must be inert, and a meter built over a
+// different tree must not observe anything (nodes are keyed by identity).
+func TestMeterNilSafe(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"})
+	ix := NewIndex(l)
+	p := pattern.MustParse("A -> B")
+
+	var nilMeter *Meter
+	if nilMeter.Snapshot() != nil {
+		t.Error("nil meter snapshot not nil")
+	}
+	New(ix, Options{Strategy: StrategyMerge, Meter: nilMeter}).Eval(p)
+
+	other := NewMeter(pattern.MustParse("A -> B")) // equal shape, different identity
+	New(ix, Options{Strategy: StrategyMerge, Meter: other}).Eval(p)
+	if got := other.TotalComparisons(); got != 0 {
+		t.Errorf("foreign meter recorded %d comparisons, want 0", got)
+	}
+}

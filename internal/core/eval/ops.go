@@ -18,6 +18,14 @@ import (
 //   - merge*: variants that exploit the sorted order (binary search on
 //     first(), range-overlap pre-checks) without changing the result. The
 //     benchmark suite ablates the two (experiment E9 in DESIGN.md).
+//
+// Every function takes an optional *opCount (nil disables counting) and
+// tallies its record-level comparison work into it, in the unit Lemma 1
+// counts: one unit per pair test for ⊙/≺, up to min(|o1|,|o2|) units per
+// incident equality/order test for ⊗, and |o1|+|o2| units per union for ⊕.
+// For the naive family the tally is therefore never above the Lemma 1
+// bound computed from the actual operand sizes; the merge family counts
+// its binary-search probes and merge steps instead.
 
 // normalize sorts and deduplicates a result slice in place, establishing
 // set semantics for incL(p) (Definition 4 makes incident sets true sets;
@@ -36,12 +44,22 @@ func normalize(incs []incident.Incident) []incident.Incident {
 	return out
 }
 
+// minLen is the cost unit of one incident-against-incident test: comparing
+// two record sets touches at most min(|o1|,|o2|) elements.
+func minLen(o1, o2 incident.Incident) uint64 {
+	if o1.Len() < o2.Len() {
+		return uint64(o1.Len())
+	}
+	return uint64(o2.Len())
+}
+
 // naiveConsecutive is CONSECUTIVE-EVAL of Algorithm 1: all pairs (o1, o2)
 // with last(o1)+1 = first(o2).
-func naiveConsecutive(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func naiveConsecutive(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		for _, o2 := range inc2 {
+			cnt.add(1)
 			if o1.Last()+1 == o2.First() {
 				out = append(out, o1.Concat(o2))
 				if limited(out, limit) {
@@ -55,10 +73,11 @@ func naiveConsecutive(inc1, inc2 []incident.Incident, limit int) []incident.Inci
 
 // naiveSequential is SEQUENTIAL-EVAL of Algorithm 1: all pairs (o1, o2)
 // with last(o1) < first(o2).
-func naiveSequential(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func naiveSequential(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		for _, o2 := range inc2 {
+			cnt.add(1)
 			if o1.Last() < o2.First() {
 				out = append(out, o1.Concat(o2))
 				if limited(out, limit) {
@@ -74,12 +93,13 @@ func naiveSequential(inc1, inc2 []incident.Incident, limit int) []incident.Incid
 // incident sets. The published algorithm performs a pairwise duplicate scan
 // (O(n1·n2·min(k1,k2))); we reproduce that join shape here for the ablation
 // benchmarks, with mergeChoice providing the linear merge.
-func naiveChoice(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func naiveChoice(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	out := make([]incident.Incident, 0, len(inc1)+len(inc2))
 	out = append(out, inc1...)
 	for _, o2 := range inc2 {
 		dup := false
 		for _, o1 := range inc1 {
+			cnt.add(minLen(o1, o2))
 			if o1.Equal(o2) {
 				dup = true
 				break
@@ -97,10 +117,11 @@ func naiveChoice(inc1, inc2 []incident.Incident, limit int) []incident.Incident 
 
 // naiveParallel is PARALLEL-EVAL of Algorithm 1: all unions o1 ∪ o2 of
 // record-disjoint pairs.
-func naiveParallel(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func naiveParallel(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		for _, o2 := range inc2 {
+			cnt.add(uint64(o1.Len() + o2.Len()))
 			if u, ok := o1.Union(o2); ok {
 				out = append(out, u)
 				if limited(out, limit) {
@@ -115,12 +136,16 @@ func naiveParallel(inc1, inc2 []incident.Incident, limit int) []incident.Inciden
 // mergeConsecutive exploits sortedness: for each o1, the o2 candidates are
 // exactly the contiguous run of incidents with first(o2) = last(o1)+1,
 // located by binary search. O(n1·log n2 + output).
-func mergeConsecutive(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func mergeConsecutive(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		want := o1.Last() + 1
-		i := sort.Search(len(inc2), func(i int) bool { return inc2[i].First() >= want })
-		for ; i < len(inc2) && inc2[i].First() == want; i++ {
+		i := sort.Search(len(inc2), func(i int) bool { cnt.add(1); return inc2[i].First() >= want })
+		for ; i < len(inc2); i++ {
+			cnt.add(1)
+			if inc2[i].First() != want {
+				break
+			}
 			out = append(out, o1.Concat(inc2[i]))
 			if limited(out, limit) {
 				return normalize(out)
@@ -133,11 +158,11 @@ func mergeConsecutive(inc1, inc2 []incident.Incident, limit int) []incident.Inci
 // mergeSequential exploits sortedness: for each o1, every o2 from the first
 // index with first(o2) > last(o1) onward qualifies. The scan cost is
 // O(n1·log n2) plus the (unavoidable) output size.
-func mergeSequential(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func mergeSequential(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		lo := o1.Last()
-		i := sort.Search(len(inc2), func(i int) bool { return inc2[i].First() > lo })
+		i := sort.Search(len(inc2), func(i int) bool { cnt.add(1); return inc2[i].First() > lo })
 		for ; i < len(inc2); i++ {
 			out = append(out, o1.Concat(inc2[i]))
 			if limited(out, limit) {
@@ -149,13 +174,14 @@ func mergeSequential(inc1, inc2 []incident.Incident, limit int) []incident.Incid
 }
 
 // mergeChoice unions two already-normalized lists with a linear merge.
-func mergeChoice(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func mergeChoice(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	out := make([]incident.Incident, 0, len(inc1)+len(inc2))
 	i, j := 0, 0
 	for i < len(inc1) && j < len(inc2) {
 		if limited(out, limit) {
 			return out
 		}
+		cnt.add(minLen(inc1[i], inc2[j]))
 		switch c := inc1[i].Compare(inc2[j]); {
 		case c < 0:
 			out = append(out, inc1[i])
@@ -182,10 +208,11 @@ func mergeChoice(inc1, inc2 []incident.Incident, limit int) []incident.Incident 
 // sort order) but skips the per-record disjointness scan whenever the two
 // incidents' [first, last] ranges do not overlap, which is the common case
 // on realistic logs.
-func mergeParallel(inc1, inc2 []incident.Incident, limit int) []incident.Incident {
+func mergeParallel(inc1, inc2 []incident.Incident, limit int, cnt *opCount) []incident.Incident {
 	var out []incident.Incident
 	for _, o1 := range inc1 {
 		for _, o2 := range inc2 {
+			cnt.add(1)
 			if o2.First() > o1.Last() || o1.First() > o2.Last() {
 				// Ranges disjoint: union cannot overlap; concatenate cheaply.
 				var u incident.Incident
@@ -195,10 +222,13 @@ func mergeParallel(inc1, inc2 []incident.Incident, limit int) []incident.Inciden
 					u = o2.Concat(o1)
 				}
 				out = append(out, u)
-			} else if u, ok := o1.Union(o2); ok {
-				out = append(out, u)
 			} else {
-				continue
+				cnt.add(uint64(o1.Len() + o2.Len()))
+				u, ok := o1.Union(o2)
+				if !ok {
+					continue
+				}
+				out = append(out, u)
 			}
 			if limited(out, limit) {
 				return normalize(out)

@@ -17,6 +17,9 @@ type Trace struct {
 	// Steps names the transformations applied, in order (empty when the
 	// optimizer left the pattern unchanged).
 	Steps []string
+	// Details carries one entry per applied law with its theorem citation
+	// and the estimated cost bracket of the pass that applied it.
+	Details []Step
 }
 
 // Changed reports whether the optimizer produced a different pattern.
@@ -28,11 +31,12 @@ func Explain(p pattern.Node, stats Stats) (pattern.Node, Trace) {
 	est := NewEstimator(stats)
 	out, ex := Optimize(p, stats)
 	return out, Trace{
-		Input:  pattern.Clone(p),
-		Output: out,
-		Before: est.Estimate(p),
-		After:  est.Estimate(out),
-		Steps:  ex.Steps,
+		Input:   pattern.Clone(p),
+		Output:  out,
+		Before:  est.Estimate(p),
+		After:   est.Estimate(out),
+		Steps:   ex.Steps,
+		Details: ex.Details,
 	}
 }
 

@@ -15,6 +15,23 @@ type Explanation struct {
 	Before, After float64
 	// Steps names the transformations applied, in order.
 	Steps []string
+	// Details carries one structured entry per applied law, for EXPLAIN and
+	// tracing surfaces.
+	Details []Step
+}
+
+// Step is one applied Theorem 2–5 law with its estimated cost effect.
+// Before and After bracket the optimization pass that applied the law:
+// laws fired by the same pass (e.g. several chains re-bracketed bottom-up)
+// share the pass's cost delta, because their effects interact and are not
+// separable per chain.
+type Step struct {
+	// Law describes the transformation, e.g. "factored 2 choice(s)".
+	Law string
+	// Theorem cites the licensing result(s), e.g. "Theorem 5".
+	Theorem string
+	// Before and After are the estimated Lemma 1 costs around the pass.
+	Before, After float64
 }
 
 // String summarizes the explanation for CLI display.
@@ -64,15 +81,26 @@ func Optimize(p pattern.Node, stats Stats) (pattern.Node, Explanation) {
 		}
 	}
 	if fired > 0 && est.Cost(factored) <= est.Cost(out) {
+		before := est.Cost(out)
 		out = factored
-		ex.Steps = append(ex.Steps, fmt.Sprintf("factored %d choice(s)", fired))
+		note := fmt.Sprintf("factored %d choice(s)", fired)
+		ex.Steps = append(ex.Steps, note)
+		ex.Details = append(ex.Details, Step{
+			Law: note, Theorem: "Theorem 5", Before: before, After: est.Cost(out),
+		})
 	}
 
 	// Pass 2 + 3: chain re-bracketing, bottom-up over the whole tree.
-	rebracketed, notes := rebracket(out, est)
-	if len(notes) > 0 && est.Cost(rebracketed) <= est.Cost(out) {
+	rebracketed, steps := rebracket(out, est)
+	if len(steps) > 0 && est.Cost(rebracketed) <= est.Cost(out) {
+		before := est.Cost(out)
 		out = rebracketed
-		ex.Steps = append(ex.Steps, notes...)
+		after := est.Cost(out)
+		for _, st := range steps {
+			st.Before, st.After = before, after
+			ex.Steps = append(ex.Steps, st.Law)
+			ex.Details = append(ex.Details, st)
+		}
 	}
 
 	ex.After = est.Cost(out)
@@ -96,9 +124,10 @@ func chainKind(op pattern.Op) int {
 
 // rebracket walks the tree bottom-up; at every maximal chain of one kind it
 // re-brackets (and, for commutative kinds, reorders) for minimal estimated
-// cost.
-func rebracket(p pattern.Node, est *Estimator) (pattern.Node, []string) {
-	var notes []string
+// cost. The returned steps carry law text and theorem citations; the caller
+// fills in the cost bracket.
+func rebracket(p pattern.Node, est *Estimator) (pattern.Node, []Step) {
+	var steps []Step
 	var rec func(pattern.Node) pattern.Node
 	rec = func(n pattern.Node) pattern.Node {
 		b, ok := n.(*pattern.Binary)
@@ -112,8 +141,10 @@ func rebracket(p pattern.Node, est *Estimator) (pattern.Node, []string) {
 		}
 		if b.Op == pattern.OpChoice {
 			if deduped := dedupOperands(operands); len(deduped) < len(operands) {
-				notes = append(notes,
-					fmt.Sprintf("dropped %d duplicate choice operand(s)", len(operands)-len(deduped)))
+				steps = append(steps, Step{
+					Law:     fmt.Sprintf("dropped %d duplicate choice operand(s)", len(operands)-len(deduped)),
+					Theorem: "idempotence (derived from Definition 4)",
+				})
 				operands = deduped
 				ops = ops[:len(operands)-1]
 				if len(operands) == 1 {
@@ -128,18 +159,18 @@ func rebracket(p pattern.Node, est *Estimator) (pattern.Node, []string) {
 			return &pattern.Binary{Op: b.Op, Left: operands[0], Right: operands[len(operands)-1]}
 		}
 		var rebuilt pattern.Node
-		var note string
+		var step Step
 		if b.Op.Commutative() {
-			rebuilt, note = rebuildCommutative(b.Op, operands, est)
+			rebuilt, step = rebuildCommutative(b.Op, operands, est)
 		} else {
-			rebuilt, note = rebuildDP(operands, ops, est)
+			rebuilt, step = rebuildDP(operands, ops, est)
 		}
-		if note != "" {
-			notes = append(notes, note)
+		if step.Law != "" {
+			steps = append(steps, step)
 		}
 		return rebuilt
 	}
-	return rec(pattern.Clone(p)), notes
+	return rec(pattern.Clone(p)), steps
 }
 
 // flattenChain collects the maximal same-kind chain rooted at b into its
@@ -163,7 +194,7 @@ func flattenChain(b *pattern.Binary, kind int) (operands []pattern.Node, ops []p
 // by interval dynamic programming (the matrix-chain pattern). Operand order
 // and the operator sequence are fixed; Theorems 2 and 4 license every
 // bracketing.
-func rebuildDP(operands []pattern.Node, ops []pattern.Op, est *Estimator) (pattern.Node, string) {
+func rebuildDP(operands []pattern.Node, ops []pattern.Op, est *Estimator) (pattern.Node, Step) {
 	n := len(operands)
 	type cell struct {
 		est   Estimate
@@ -196,7 +227,10 @@ func rebuildDP(operands []pattern.Node, ops []pattern.Op, est *Estimator) (patte
 		return &pattern.Binary{Op: ops[k], Left: build(i, k), Right: build(k+1, j)}
 	}
 	out := build(0, n-1)
-	return out, fmt.Sprintf("re-bracketed %d-operand %s chain", n, ops[0].Name())
+	return out, Step{
+		Law:     fmt.Sprintf("re-bracketed %d-operand %s chain", n, ops[0].Name()),
+		Theorem: "Theorems 2, 4",
+	}
 }
 
 // dedupOperands removes structurally equal duplicates from a ⊗ chain's
@@ -223,7 +257,7 @@ func dedupOperands(operands []pattern.Node) []pattern.Node {
 // rebuilds it left-deep, keeping intermediate results small (greedy; exact
 // ordering is a join-ordering problem). Reordering is licensed by Theorem 3,
 // re-bracketing by Theorem 2.
-func rebuildCommutative(op pattern.Op, operands []pattern.Node, est *Estimator) (pattern.Node, string) {
+func rebuildCommutative(op pattern.Op, operands []pattern.Node, est *Estimator) (pattern.Node, Step) {
 	type ranked struct {
 		node pattern.Node
 		est  Estimate
@@ -243,7 +277,10 @@ func rebuildCommutative(op pattern.Op, operands []pattern.Node, est *Estimator) 
 	for _, r := range rs[1:] {
 		acc = &pattern.Binary{Op: op, Left: acc, Right: r.node}
 	}
-	return acc, fmt.Sprintf("reordered %d-operand %s chain", len(operands), op.Name())
+	return acc, Step{
+		Law:     fmt.Sprintf("reordered %d-operand %s chain", len(operands), op.Name()),
+		Theorem: "Theorems 2, 3",
+	}
 }
 
 // Canonicalize rewrites p into a canonical representative of its

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Render writes the trace as an ASCII span tree followed by the cost
+// table — the CLI's -trace output.
+func (qt *QueryTrace) Render(w io.Writer) {
+	if qt == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace: %s\n", qt.Query)
+	if qt.Plan != qt.Query {
+		fmt.Fprintf(w, "plan:  %s\n", qt.Plan)
+	}
+	fmt.Fprintf(w, "strategy: %s\n", qt.Strategy)
+	RenderSpan(w, qt.Spans, "")
+	fmt.Fprintln(w)
+	RenderCostTable(w, qt.CostTable)
+}
+
+// RenderSpan writes one span subtree as an indented ASCII tree with
+// durations and attributes.
+func RenderSpan(w io.Writer, s *Span, indent string) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s%s (%dµs)%s\n", indent, s.Name, s.DurationUS, attrString(s.Attrs))
+	for _, c := range s.Children {
+		RenderSpan(w, c, indent+"  ")
+	}
+}
+
+// attrString renders attributes key-sorted as " k=v k=v" (empty when none).
+func attrString(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%v", k, attrs[k])
+	}
+	return sb.String()
+}
+
+// RenderCostTable writes the measured-vs-predicted accounting as an aligned
+// table, one row per plan node, indented by tree depth.
+func RenderCostTable(w io.Writer, rows []CostRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\top\tn1\tn2\tk1\tk2\tcomparisons\toutputs\tpredicted\tbound\tevals\tmemo")
+	for _, r := range rows {
+		op := r.Op
+		if r.Symbol != "" {
+			op = r.Symbol + " " + r.Op
+		}
+		fmt.Fprintf(tw, "%s%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%d\n",
+			strings.Repeat(". ", r.Depth), r.Node, op,
+			r.N1, r.N2, r.K1, r.K2,
+			r.Comparisons, r.Outputs, r.Predicted, r.Bound, r.Evals, r.MemoHits)
+	}
+	tw.Flush()
+}

@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
 )
 
 // metrics holds the service counters exported at GET /metrics. Counters are
@@ -23,14 +26,91 @@ type metrics struct {
 	cacheMisses        atomic.Uint64
 	incidentsReturned  atomic.Uint64
 	instancesEvaluated atomic.Uint64
+	slowQueries        atomic.Uint64
 	inflight           atomic.Int64
 	busyWorkers        atomic.Int64
 
-	lat latencyRing
+	// Per-operator totals, indexed by pattern.Op (1..4), folded in from
+	// each evaluated query's eval.Meter: the measured record-level
+	// comparison work and incident outputs of every ⊙/≺/⊗/⊕ application.
+	opComparisons [5]atomic.Uint64
+	opOutputs     [5]atomic.Uint64
+
+	lat  latencyRing
+	hist latencyHist
 }
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now()}
+}
+
+// observeLatency records one request's wall-clock latency in both the
+// percentile ring and the histogram. It is called on EVERY request path —
+// errors and timeouts included — so the percentiles are not survivorship-
+// biased toward successful queries.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.lat.observe(d)
+	m.hist.observe(d)
+}
+
+// recordMeter folds one query's per-node measurements into the service-wide
+// per-operator totals.
+func (m *metrics) recordMeter(mt *eval.Meter) {
+	for _, st := range mt.Snapshot() {
+		if st.Atom || int(st.Op) >= len(m.opComparisons) {
+			continue
+		}
+		m.opComparisons[st.Op].Add(st.Comparisons)
+		m.opOutputs[st.Op].Add(st.Outputs)
+	}
+}
+
+// operatorTotals snapshots the per-operator counters keyed by operator name.
+func (m *metrics) operatorTotals() (comparisons, outputs map[string]uint64) {
+	comparisons = make(map[string]uint64, 4)
+	outputs = make(map[string]uint64, 4)
+	for _, op := range []pattern.Op{
+		pattern.OpConsecutive, pattern.OpSequential, pattern.OpChoice, pattern.OpParallel,
+	} {
+		comparisons[op.Name()] = m.opComparisons[op].Load()
+		outputs[op.Name()] = m.opOutputs[op].Load()
+	}
+	return comparisons, outputs
+}
+
+// latencyBucketsUS are the histogram upper bounds in microseconds (plus an
+// implicit +Inf overflow bucket): 100µs to 10s, roughly logarithmic — the
+// span between a cached lookup and the default request timeout.
+var latencyBucketsUS = [...]int64{
+	100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000, 2500000, 5000000, 10000000,
+}
+
+// latencyHist is a fixed-bucket latency histogram in the Prometheus style:
+// per-bucket counts (cumulated at exposition time), a running sum and a
+// count, all atomic.
+type latencyHist struct {
+	buckets [len(latencyBucketsUS) + 1]atomic.Uint64 // last slot = +Inf
+	count   atomic.Uint64
+	sumUS   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := sort.Search(len(latencyBucketsUS), func(i int) bool { return latencyBucketsUS[i] >= us })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// snapshot returns the per-bucket counts (not yet cumulative), the total
+// count and the latency sum.
+func (h *latencyHist) snapshot() (buckets []uint64, count uint64, sumUS int64) {
+	buckets = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sumUS.Load()
 }
 
 // latencyRing is a fixed-size ring of the most recent query latencies, in
@@ -105,12 +185,17 @@ type metricsDoc struct {
 	CacheEvictions     uint64     `json:"cache_evictions"`
 	IncidentsReturned  uint64     `json:"incidents_returned"`
 	InstancesEvaluated uint64     `json:"instances_evaluated"`
+	SlowQueries        uint64     `json:"slow_queries"`
 	InflightQueries    int64      `json:"inflight_queries"`
 	WorkersPerQuery    int        `json:"workers_per_query"`
 	BusyWorkers        int64      `json:"busy_workers"`
 	WorkerCapacity     int        `json:"worker_capacity"`
 	WorkerUtilization  float64    `json:"worker_utilization"`
 	Latency            latencyDoc `json:"latency"`
+	// OperatorComparisons and OperatorOutputs are the service-lifetime
+	// per-operator totals measured by the evaluator (Lemma 1 accounting).
+	OperatorComparisons map[string]uint64 `json:"operator_comparisons"`
+	OperatorOutputs     map[string]uint64 `json:"operator_outputs"`
 }
 
 // snapshot assembles the metrics document. workersPerQuery is the resolved
@@ -123,23 +208,27 @@ func (m *metrics) snapshot(logsLoaded, workersPerQuery int, cache *lru) metricsD
 	if capacity > 0 {
 		util = float64(busy) / float64(capacity)
 	}
+	opComparisons, opOutputs := m.operatorTotals()
 	return metricsDoc{
-		UptimeSeconds:      time.Since(m.start).Seconds(),
-		LogsLoaded:         logsLoaded,
-		QueriesTotal:       m.queriesTotal.Load(),
-		QueryErrors:        m.queryErrors.Load(),
-		QueryTimeouts:      m.queryTimeouts.Load(),
-		CacheHits:          m.cacheHits.Load(),
-		CacheMisses:        m.cacheMisses.Load(),
-		CacheEntries:       cache.len(),
-		CacheEvictions:     cache.evicted(),
-		IncidentsReturned:  m.incidentsReturned.Load(),
-		InstancesEvaluated: m.instancesEvaluated.Load(),
-		InflightQueries:    m.inflight.Load(),
-		WorkersPerQuery:    workersPerQuery,
-		BusyWorkers:        busy,
-		WorkerCapacity:     capacity,
-		WorkerUtilization:  util,
-		Latency:            latencyDoc{Count: count, P50: p50, P95: p95, P99: p99, Max: max},
+		UptimeSeconds:       time.Since(m.start).Seconds(),
+		LogsLoaded:          logsLoaded,
+		QueriesTotal:        m.queriesTotal.Load(),
+		QueryErrors:         m.queryErrors.Load(),
+		QueryTimeouts:       m.queryTimeouts.Load(),
+		CacheHits:           m.cacheHits.Load(),
+		CacheMisses:         m.cacheMisses.Load(),
+		CacheEntries:        cache.len(),
+		CacheEvictions:      cache.evicted(),
+		IncidentsReturned:   m.incidentsReturned.Load(),
+		InstancesEvaluated:  m.instancesEvaluated.Load(),
+		SlowQueries:         m.slowQueries.Load(),
+		InflightQueries:     m.inflight.Load(),
+		WorkersPerQuery:     workersPerQuery,
+		BusyWorkers:         busy,
+		WorkerCapacity:      capacity,
+		WorkerUtilization:   util,
+		Latency:             latencyDoc{Count: count, P50: p50, P95: p95, P99: p99, Max: max},
+		OperatorComparisons: opComparisons,
+		OperatorOutputs:     opOutputs,
 	}
 }

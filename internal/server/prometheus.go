@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) for GET
+// /metrics?format=prometheus. Hand-rolled on purpose: the surface is a
+// dozen scalar families plus one histogram, and the service stays
+// dependency-free. Metric names follow the Prometheus conventions —
+// `wlq_` prefix, `_total` suffix on counters, base units (seconds).
+
+// promFamily writes one metric family: HELP, TYPE, then each sample.
+type promSample struct {
+	labels string // rendered label set incl. braces, e.g. `{op="choice"}`
+	value  string
+}
+
+func writeFamily(w io.Writer, name, help, typ string, samples ...promSample) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s%s %s\n", name, s.labels, s.value)
+	}
+}
+
+func gauge(v float64) []promSample {
+	return []promSample{{value: strconv.FormatFloat(v, 'g', -1, 64)}}
+}
+
+func counter(v uint64) []promSample {
+	return []promSample{{value: strconv.FormatUint(v, 10)}}
+}
+
+// writePrometheus emits the full exposition document.
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	s.mu.RLock()
+	loaded := len(s.logs)
+	s.mu.RUnlock()
+	doc := s.metrics.snapshot(loaded, s.cfg.Workers, s.cache)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	writeFamily(w, "wlq_uptime_seconds", "Seconds since the service started.", "gauge",
+		gauge(doc.UptimeSeconds)...)
+	writeFamily(w, "wlq_logs_loaded", "Workflow logs loaded and indexed.", "gauge",
+		gauge(float64(doc.LogsLoaded))...)
+	writeFamily(w, "wlq_queries_total", "Queries received on POST /v1/query.", "counter",
+		counter(doc.QueriesTotal)...)
+	writeFamily(w, "wlq_query_errors_total", "Queries rejected or failed.", "counter",
+		counter(doc.QueryErrors)...)
+	writeFamily(w, "wlq_query_timeouts_total", "Queries aborted by the evaluation timeout.", "counter",
+		counter(doc.QueryTimeouts)...)
+	writeFamily(w, "wlq_slow_queries_total", "Queries slower than the slow-query threshold.", "counter",
+		counter(doc.SlowQueries)...)
+	writeFamily(w, "wlq_cache_hits_total", "Result-cache hits.", "counter",
+		counter(doc.CacheHits)...)
+	writeFamily(w, "wlq_cache_misses_total", "Result-cache misses.", "counter",
+		counter(doc.CacheMisses)...)
+	writeFamily(w, "wlq_cache_entries", "Result-cache entries resident.", "gauge",
+		gauge(float64(doc.CacheEntries))...)
+	writeFamily(w, "wlq_cache_evictions_total", "Result-cache entries displaced by LRU pressure.", "counter",
+		counter(doc.CacheEvictions)...)
+	writeFamily(w, "wlq_incidents_returned_total", "Incidents returned in query responses.", "counter",
+		counter(doc.IncidentsReturned)...)
+	writeFamily(w, "wlq_instances_evaluated_total", "Workflow instances evaluated.", "counter",
+		counter(doc.InstancesEvaluated)...)
+	writeFamily(w, "wlq_inflight_queries", "Queries currently being served.", "gauge",
+		gauge(float64(doc.InflightQueries))...)
+	writeFamily(w, "wlq_busy_workers", "Evaluation workers currently running.", "gauge",
+		gauge(float64(doc.BusyWorkers))...)
+	writeFamily(w, "wlq_worker_capacity", "Evaluation worker capacity (GOMAXPROCS).", "gauge",
+		gauge(float64(doc.WorkerCapacity))...)
+	writeFamily(w, "wlq_worker_utilization", "Busy workers over capacity.", "gauge",
+		gauge(doc.WorkerUtilization)...)
+
+	// Per-operator Lemma 1 accounting, labeled by operator name.
+	ops := []string{"consecutive", "sequential", "choice", "parallel"}
+	comps := make([]promSample, 0, len(ops))
+	outs := make([]promSample, 0, len(ops))
+	for _, op := range ops {
+		label := `{op="` + op + `"}`
+		comps = append(comps, promSample{labels: label, value: strconv.FormatUint(doc.OperatorComparisons[op], 10)})
+		outs = append(outs, promSample{labels: label, value: strconv.FormatUint(doc.OperatorOutputs[op], 10)})
+	}
+	writeFamily(w, "wlq_operator_comparisons_total",
+		"Measured record-level comparisons per operator (Lemma 1 accounting).", "counter", comps...)
+	writeFamily(w, "wlq_operator_outputs_total",
+		"Incidents produced per operator.", "counter", outs...)
+
+	// Request latency histogram: cumulative buckets in seconds.
+	buckets, count, sumUS := s.metrics.hist.snapshot()
+	samples := make([]promSample, 0, len(buckets)+2)
+	var cum uint64
+	for i, le := range latencyBucketsUS {
+		cum += buckets[i]
+		samples = append(samples, promSample{
+			labels: fmt.Sprintf(`{le="%s"}`, strconv.FormatFloat(float64(le)/1e6, 'g', -1, 64)),
+			value:  strconv.FormatUint(cum, 10),
+		})
+	}
+	cum += buckets[len(buckets)-1]
+	samples = append(samples, promSample{labels: `{le="+Inf"}`, value: strconv.FormatUint(cum, 10)})
+	fmt.Fprintf(w, "# HELP wlq_query_duration_seconds Request latency, all paths (success, error, timeout).\n")
+	fmt.Fprintf(w, "# TYPE wlq_query_duration_seconds histogram\n")
+	for _, sm := range samples {
+		fmt.Fprintf(w, "wlq_query_duration_seconds_bucket%s %s\n", sm.labels, sm.value)
+	}
+	fmt.Fprintf(w, "wlq_query_duration_seconds_sum %s\n",
+		strconv.FormatFloat(float64(sumUS)/1e6, 'g', -1, 64))
+	fmt.Fprintf(w, "wlq_query_duration_seconds_count %d\n", count)
+}

@@ -4,10 +4,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/query    parse → rewrite → parallel evaluation (JSON in/out)
+//	POST /v1/query    parse → rewrite → parallel evaluation (JSON in/out);
+//	                  "trace": true adds the span tree and Lemma 1 cost table
 //	GET  /v1/explain  the optimizer's rewrite trace and cost estimates
 //	GET  /v1/logs     loaded-log inventory and validity status
-//	GET  /metrics     expvar-style service counters
+//	GET  /metrics     service counters (JSON; ?format=prometheus for text exposition)
+//	GET  /healthz     liveness probe
+//	GET  /readyz      readiness probe (503 until a log is loaded)
+//	GET  /debug/pprof profiling handlers (Config.EnablePprof)
 //
 // The Index is immutable after load, so concurrent queries share it without
 // locks and cached result sets never need invalidation. The result cache is
@@ -20,7 +24,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"sync"
@@ -29,6 +35,7 @@ import (
 	"wlq/internal/core/eval"
 	"wlq/internal/core/pattern"
 	"wlq/internal/core/rewrite"
+	"wlq/internal/obs"
 	"wlq/internal/wlog"
 )
 
@@ -55,6 +62,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Strategy is the default join implementation (0 = merge).
 	Strategy eval.Strategy
+	// Logger, when non-nil, enables structured request logging (one Info
+	// line per request) and the slow-query log. Nil disables both.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs a Warn line (and bumps the
+	// slow_queries counter) for every query slower than the threshold.
+	SlowQuery time.Duration
+	// EnablePprof exposes the GET /debug/pprof/* profiling handlers.
+	EnablePprof bool
 }
 
 // withDefaults resolves the zero values.
@@ -159,7 +174,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/logs", s.handleLogs)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	if s.cfg.Logger != nil {
+		return s.logRequests(mux)
+	}
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once at least one log is loaded
+// and indexed (AddLog builds the index synchronously, so a registered log
+// is a queryable log), 503 before that — load balancers keep the instance
+// out of rotation until it can actually answer queries.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	loaded := len(s.logs)
+	s.mu.RUnlock()
+	if loaded == 0 {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "loading", "logs_loaded": 0})
+		return
+	}
+	writeJSON(w, http.StatusOK,
+		map[string]any{"status": "ready", "logs_loaded": loaded})
 }
 
 // errorDoc is the JSON error envelope.
@@ -205,6 +254,10 @@ type queryRequest struct {
 	// TimeoutMS lowers the per-request timeout; it cannot raise it above
 	// the server's configured value.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace enables execution tracing: the response carries the span tree
+	// and the per-operator Lemma 1 cost table. Traced queries bypass the
+	// result cache (a cached result has no fresh evaluation to measure).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // incidentDoc is the wire form of one incident.
@@ -228,6 +281,9 @@ type queryResponse struct {
 	Instances []uint64      `json:"instances,omitempty"`
 	Incidents []incidentDoc `json:"incidents,omitempty"`
 	Truncated bool          `json:"truncated,omitempty"`
+	// Trace is present when the request set "trace": true — the span tree
+	// and per-operator cost table of this evaluation.
+	Trace *obs.QueryTrace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -236,10 +292,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.inflight.Add(-1)
 	started := time.Now()
 
+	// Latency is observed on EVERY exit path — parse errors, timeouts and
+	// evaluation failures included — so the percentiles and the histogram
+	// are not survivorship-biased toward successful queries. The slow-query
+	// log rides on the same hook.
+	var req queryRequest
+	defer func() {
+		elapsed := time.Since(started)
+		s.metrics.observeLatency(elapsed)
+		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+			s.metrics.slowQueries.Add(1)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Warn("slow query",
+					"query", req.Query,
+					"log", req.Log,
+					"duration_ms", float64(elapsed.Microseconds())/1000,
+					"threshold_ms", float64(s.cfg.SlowQuery.Microseconds())/1000,
+				)
+			}
+		}
+	}()
+
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	var req queryRequest
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -286,20 +362,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+
+	// The trace (when requested) is created before parsing so the parse
+	// span covers it.
+	var qtr *obs.Trace
+	if req.Trace {
+		qtr = obs.NewTrace("query")
+	}
+
+	sp := qtr.StartSpan("parse")
 	p, err := pattern.Parse(req.Query)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		s.metrics.queryErrors.Add(1)
 		writeError(w, http.StatusBadRequest, "parse error: %v", err)
 		return
 	}
+	sp.SetAttr("pattern", p.String())
+	sp.SetAttr("atoms", len(pattern.Atoms(p)))
+	sp.SetAttr("operators", pattern.Operators(p))
+	sp.End()
 
+	sp = qtr.StartSpan("canonicalize")
 	canonical := pattern.CanonicalKey(p)
+	sp.SetAttr("key", canonical)
+	sp.End()
+
 	cacheKey := fmt.Sprintf("%s\x00%s\x00limit=%d", entry.name, canonical, req.Limit)
-	cacheable := !req.NoOptimize
+	// Traced queries bypass the result cache: a cached result carries no
+	// fresh evaluation to measure, so a hit would return an empty or stale
+	// cost table.
+	cacheable := !req.NoOptimize && !req.Trace
 
 	var (
-		ce     *cacheEntry
-		cached bool
+		ce         *cacheEntry
+		cached     bool
+		queryTrace *obs.QueryTrace
 	)
 	if cacheable {
 		ce, cached = s.cache.get(cacheKey)
@@ -315,19 +414,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if req.NoOptimize {
 			trace = rewrite.Trace{Input: p, Output: p}
 		} else {
+			sp = qtr.StartSpan("rewrite")
 			plan, trace = rewrite.Explain(p, entry.ix)
+			obs.RewriteSpans(sp, trace)
+			sp.End()
 		}
-		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit})
+		meter := eval.NewMeter(plan)
+		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter})
 		workers := s.resolveWorkers(req.Workers, entry.ix)
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 		defer cancel()
+		if qtr != nil {
+			ctx = obs.WithTrace(ctx, qtr)
+		}
 
+		sp = qtr.StartSpan("eval")
 		var qs eval.QueryStats
 		s.metrics.busyWorkers.Add(int64(workers))
 		set, err := ev.EvalParallelCtx(ctx, plan, workers, &qs)
 		s.metrics.busyWorkers.Add(int64(-workers))
 		s.metrics.instancesEvaluated.Add(uint64(qs.Instances))
+		s.metrics.recordMeter(meter)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.metrics.queryTimeouts.Add(1)
 				writeError(w, http.StatusGatewayTimeout,
@@ -337,6 +447,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusInternalServerError, "evaluation aborted: %v", err)
 			}
 			return
+		}
+		sp.SetAttr("strategy", strategy.String())
+		sp.SetAttr("workers", qs.Workers)
+		sp.SetAttr("instances", qs.Instances)
+		sp.SetAttr("incidents", qs.Incidents)
+		obs.EvalSpans(sp, plan, meter)
+		sp.End()
+		qtr.End()
+		if qtr != nil {
+			queryTrace = &obs.QueryTrace{
+				Query:     req.Query,
+				Plan:      plan.String(),
+				Strategy:  strategy.String(),
+				Spans:     qtr.Root(),
+				CostTable: obs.CostTable(plan, meter),
+			}
 		}
 		ce = &cacheEntry{plan: plan, trace: trace, set: set}
 		if cacheable {
@@ -354,6 +480,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		Count:     ce.set.Len(),
 		Exists:    ce.set.Len() > 0,
+		Trace:     queryTrace,
 	}
 	switch mode {
 	case "instances":
@@ -371,9 +498,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Incidents = docs
 		s.metrics.incidentsReturned.Add(uint64(len(docs)))
 	}
-	elapsed := time.Since(started)
-	resp.ElapsedUS = elapsed.Microseconds()
-	s.metrics.lat.observe(elapsed)
+	resp.ElapsedUS = time.Since(started).Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -549,6 +674,16 @@ func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+	case "prometheus":
+		s.writePrometheus(w)
+		return
+	default:
+		writeError(w, http.StatusBadRequest,
+			"unknown format %q (want json or prometheus)", format)
+		return
+	}
 	s.mu.RLock()
 	loaded := len(s.logs)
 	s.mu.RUnlock()

@@ -393,8 +393,8 @@ func TestMetricsDocument(t *testing.T) {
 	if m.LogsLoaded != 1 || m.WorkersPerQuery != 2 {
 		t.Errorf("logs_loaded=%d workers=%d", m.LogsLoaded, m.WorkersPerQuery)
 	}
-	if m.Latency.Count != 2 {
-		t.Errorf("latency count %d, want 2 (errors are not latency samples)", m.Latency.Count)
+	if m.Latency.Count != 3 {
+		t.Errorf("latency count %d, want 3 (error paths are latency samples too)", m.Latency.Count)
 	}
 	if m.IncidentsReturned == 0 || m.InstancesEvaluated == 0 {
 		t.Errorf("work counters empty: %+v", m)

@@ -1,0 +1,109 @@
+package wlq_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"wlq"
+)
+
+// TestQueryTracedLemma1Acceptance is the acceptance criterion for the
+// observability layer: over a generated clinic log, a traced query covering
+// all four operators yields a cost table where every ⊙/≺/⊗/⊕ row reports
+// measured comparisons, measured outputs and the Lemma 1 predicted bound —
+// and, under the naive strategy (the paper's Algorithm 1, whose work the
+// bound describes), measured never exceeds predicted.
+func TestQueryTracedLemma1Acceptance(t *testing.T) {
+	log, err := wlq.ClinicLog(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := wlq.NewEngine(log, wlq.WithStrategy(wlq.StrategyNaive))
+	query := "(GetRefer . CheckIn) | (UpdateRefer -> GetReimburse) | (SeeDoctor & CheckIn)"
+
+	set, qt, err := engine.QueryTraced(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set == nil || qt == nil {
+		t.Fatal("nil result or trace")
+	}
+
+	// Same incidents as the untraced path: tracing observes, never changes.
+	plain, err := engine.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(plain) {
+		t.Error("traced evaluation returned different incidents")
+	}
+
+	// The span tree covers the full pipeline.
+	if qt.Spans == nil {
+		t.Fatal("no span tree")
+	}
+	stages := make(map[string]bool)
+	for _, c := range qt.Spans.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"parse", "canonicalize", "rewrite", "eval"} {
+		if !stages[want] {
+			t.Errorf("missing %q span (have %v)", want, stages)
+		}
+	}
+
+	// Every operator row is fully populated and within the Lemma 1 bound.
+	seenOps := make(map[string]bool)
+	for _, row := range qt.CostTable {
+		if row.Op == "atom" {
+			if row.Evals == 0 {
+				t.Errorf("atom %s never evaluated", row.Node)
+			}
+			continue
+		}
+		seenOps[row.Op] = true
+		if row.Evals == 0 {
+			t.Errorf("%s node %s never evaluated", row.Op, row.Node)
+		}
+		if row.Bound == "" || row.Predicted == 0 {
+			t.Errorf("%s node %s lacks a predicted bound: %+v", row.Op, row.Node, row)
+		}
+		if row.Comparisons > row.Predicted {
+			t.Errorf("%s node %s: measured %d comparisons exceed the Lemma 1 bound %d",
+				row.Op, row.Node, row.Comparisons, row.Predicted)
+		}
+	}
+	for _, op := range []string{"consecutive", "sequential", "choice", "parallel"} {
+		if !seenOps[op] {
+			t.Errorf("query did not exercise operator %s (rows: %v)", op, seenOps)
+		}
+	}
+
+	// The trace marshals (the service's wire shape).
+	if _, err := json.Marshal(qt); err != nil {
+		t.Errorf("trace does not marshal: %v", err)
+	}
+
+	// And renders (the CLI shape).
+	var buf bytes.Buffer
+	qt.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+// TestQueryTracedReusesContextTrace: a caller-provided trace collects the
+// pipeline spans instead of a fresh one.
+func TestQueryTracedReusesContextTrace(t *testing.T) {
+	engine := wlq.NewEngine(wlq.ClinicFig3())
+	tr := wlq.NewTrace("caller")
+	ctx := wlq.WithTrace(context.Background(), tr)
+	if _, _, err := engine.QueryTraced(ctx, "GetRefer -> SeeDoctor"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root().Children) == 0 {
+		t.Error("caller trace collected no spans")
+	}
+}

@@ -32,6 +32,7 @@
 package wlq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -46,6 +47,7 @@ import (
 	"wlq/internal/enact"
 	"wlq/internal/logio"
 	"wlq/internal/models"
+	"wlq/internal/obs"
 	"wlq/internal/stream"
 	"wlq/internal/wlog"
 )
@@ -449,6 +451,88 @@ func (e *Engine) BindIncident(query string, inc Incident) ([]AtomBinding, error)
 		out = append(out, AtomBinding{Atom: atoms[idx].String(), Index: idx, Seq: seq})
 	}
 	return out, nil
+}
+
+// QueryTrace is the full observability record of one traced query: the
+// parse → canonicalize → rewrite → evaluate span tree plus the per-operator
+// Lemma 1 cost table (measured comparisons vs. predicted bounds). See
+// docs/OBSERVABILITY.md for the span glossary and column definitions.
+type QueryTrace = obs.QueryTrace
+
+// Trace is a span collector for traced query execution; see QueryTraced.
+type Trace = obs.Trace
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// WithTrace returns a context carrying the trace; QueryTraced attaches its
+// pipeline spans to it instead of creating a fresh trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return obs.WithTrace(ctx, t) }
+
+// QueryTraced evaluates a textual query with execution tracing: every
+// pipeline stage becomes a timed span, every applied rewrite law a child
+// span with its cost bracket, and every plan node a cost-table row pairing
+// its measured comparison work with the Lemma 1 predicted bound. If ctx
+// already carries an obs.Trace the spans attach to it; otherwise a fresh
+// trace is created. Tracing changes no results — the incident set is
+// identical to Query's.
+func (e *Engine) QueryTraced(ctx context.Context, query string) (*IncidentSet, *QueryTrace, error) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		tr = obs.NewTrace("wlq.query")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
+	sp := tr.StartSpan("parse")
+	p, err := pattern.Parse(query)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, nil, err
+	}
+	sp.SetAttr("pattern", p.String())
+	sp.SetAttr("atoms", len(pattern.Atoms(p)))
+	sp.SetAttr("operators", pattern.Operators(p))
+	sp.End()
+
+	sp = tr.StartSpan("canonicalize")
+	sp.SetAttr("key", pattern.CanonicalKey(p))
+	sp.End()
+
+	plan := pattern.Node(p)
+	if e.optimize {
+		sp = tr.StartSpan("rewrite")
+		var rt rewrite.Trace
+		plan, rt = rewrite.Explain(p, e.ix)
+		obs.RewriteSpans(sp, rt)
+		sp.End()
+	}
+
+	meter := eval.NewMeter(plan)
+	sp = tr.StartSpan("eval")
+	ev := eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Meter: meter})
+	var qs eval.QueryStats
+	set, err := ev.EvalParallelCtx(ctx, plan, 0, &qs)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, nil, err
+	}
+	sp.SetAttr("strategy", e.strategy.String())
+	sp.SetAttr("workers", qs.Workers)
+	sp.SetAttr("instances", qs.Instances)
+	sp.SetAttr("incidents", qs.Incidents)
+	obs.EvalSpans(sp, plan, meter)
+	sp.End()
+	tr.End()
+
+	return set, &obs.QueryTrace{
+		Query:     query,
+		Plan:      plan.String(),
+		Strategy:  e.strategy.String(),
+		Spans:     tr.Root(),
+		CostTable: obs.CostTable(plan, meter),
+	}, nil
 }
 
 // Explain parses the query and reports the incident tree, the optimizer's
