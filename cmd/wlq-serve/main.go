@@ -84,6 +84,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pprofOn = fs.Bool("pprof", true, "expose the GET /debug/pprof/* profiling handlers")
 		logJSON = fs.Bool("log-json", false, "emit request logs as JSON instead of text")
 		noLog   = fs.Bool("no-request-log", false, "disable structured request logging")
+
+		maxInFlight = fs.Int("max-inflight", server.DefaultMaxInFlight,
+			"concurrent queries admitted before shedding with 429 (negative = unlimited)")
+		maxComp = fs.Uint64("max-comparisons", 0,
+			"per-query comparison budget; exceeding it aborts with 422 (0 = unlimited)")
+		maxOutputs = fs.Uint64("max-outputs", 0,
+			"per-query produced-incident budget (0 = unlimited)")
+		maxResultBytes = fs.Uint64("max-result-bytes", 0,
+			"per-query result-size budget in bytes (0 = unlimited)")
+		maxCost = fs.Float64("max-predicted-cost", 0,
+			"pre-flight ceiling on the plan's Lemma 1 cost estimate; costlier queries are rejected with 422 before evaluation (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +111,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxBodyBytes: *maxBody,
 		SlowQuery:    *slow,
 		EnablePprof:  *pprofOn,
+		MaxInFlight:  *maxInFlight,
+		Budget: wlq.Budget{
+			MaxComparisons: *maxComp,
+			MaxOutputs:     *maxOutputs,
+			MaxResultBytes: *maxResultBytes,
+		},
+		MaxPredictedCost: *maxCost,
+		Loader:           wlq.OpenLog,
 	}
 	if *naive {
 		cfg.Strategy = wlq.StrategyNaive
@@ -127,6 +146,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP triggers a hot reload of every log (same pass as POST
+	// /v1/reload): a log that fails to load or validate is quarantined and
+	// the last-good snapshot keeps serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				res, err := srv.ReloadLogs()
+				if err != nil {
+					fmt.Fprintf(out, "reload: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(out, "reloaded %d log(s), %d quarantined\n",
+					len(res.Reloaded), len(res.Quarantined))
+			}
+		}
+	}()
+
 	return serve(ctx, *addr, *drain, srv.Handler(), out)
 }
 

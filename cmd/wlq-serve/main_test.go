@@ -3,12 +3,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"wlq/internal/core/eval"
 )
 
 func TestSplitLogArg(t *testing.T) {
@@ -66,22 +72,13 @@ func TestRunArgErrors(t *testing.T) {
 
 var servingRE = regexp.MustCompile(`serving on ([\d.:\[\]]+)`)
 
-func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var buf syncBuffer
-	done := make(chan error, 1)
-	go func() {
-		done <- run(ctx, []string{"-log", "fig3", "-addr", "127.0.0.1:0"}, &buf)
-	}()
-
-	// Wait for the listener to come up and learn the ephemeral port.
-	var addr string
+// waitServing blocks until run's listener is up and returns its address.
+func waitServing(t *testing.T, buf *syncBuffer, done <-chan error) string {
+	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
-	for addr == "" {
+	for {
 		if m := servingRE.FindStringSubmatch(buf.String()); m != nil {
-			addr = m[1]
-			break
+			return m[1]
 		}
 		select {
 		case err := <-done:
@@ -93,6 +90,17 @@ func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-log", "fig3", "-addr", "127.0.0.1:0"}, &buf)
+	}()
+	addr := waitServing(t, &buf, done)
 
 	resp, err := http.Post("http://"+addr+"/v1/query", "application/json",
 		strings.NewReader(`{"log":"fig3","query":"UpdateRefer -> GetReimburse"}`))
@@ -148,5 +156,136 @@ func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `loaded "fig3"`) {
 		t.Errorf("no load log line:\n%s", buf.String())
+	}
+}
+
+// TestShutdownCompletesInFlightAndRefusesNew pins the drain contract: once
+// shutdown begins, the listener stops accepting new connections, but a query
+// already being evaluated still completes with 200.
+func TestShutdownCompletesInFlightAndRefusesNew(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-log", "fig3", "-addr", "127.0.0.1:0", "-drain", "5s"}, &buf)
+	}()
+	addr := waitServing(t, &buf, done)
+
+	// Park the first evaluation worker inside the engine so the request is
+	// provably in flight when shutdown starts.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	eval.SetEvalHook(func(uint64) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	defer eval.SetEvalHook(nil)
+
+	type result struct {
+		status int
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/query", "application/json",
+			strings.NewReader(`{"log":"fig3","query":"UpdateRefer -> GetReimburse"}`))
+		if err != nil {
+			resCh <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		resCh <- result{resp.StatusCode, nil}
+	}()
+
+	<-entered // the query is mid-evaluation
+	cancel()  // equivalent of SIGTERM: begin draining
+
+	// The listener must close: fresh connections get refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight query, released now, still completes successfully.
+	close(release)
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight query status = %d during drain, want 200", r.status)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within the drain window")
+	}
+}
+
+// TestSIGHUPReloadsLogs sends the process a real SIGHUP and asserts the
+// server re-runs its loaders and bumps the log generation.
+func TestSIGHUPReloadsLogs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-log", "fig3", "-addr", "127.0.0.1:0"}, &buf)
+	}()
+	addr := waitServing(t, &buf, done)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), "reloaded 1 log(s), 0 quarantined") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reload log line after SIGHUP:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var logList struct {
+		Logs []struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+		} `json:"logs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&logList); err != nil {
+		t.Fatal(err)
+	}
+	if len(logList.Logs) != 1 || logList.Logs[0].Generation != 1 {
+		t.Fatalf("after SIGHUP logs = %+v, want fig3 at generation 1", logList.Logs)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

@@ -54,6 +54,8 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		naive       = fs.Bool("naive", false, "use the paper's verbatim Algorithm 1 joins")
 		noOpt       = fs.Bool("no-optimize", false, "disable the Theorem 2-5 query optimizer")
 		limit       = fs.Int("limit", 0, "best-effort cap on incidents per operator per instance (0 = unlimited)")
+		maxComp     = fs.Uint64("max-comparisons", 0, "abort a query after this many record comparisons (0 = unlimited)")
+		timeout     = fs.Duration("timeout", 0, "abort a query after this much wall time, e.g. 5s (0 = unlimited)")
 		trace       = fs.Bool("trace", false, "print the execution trace (span tree and Lemma 1 cost table) to stderr")
 		stats       = fs.Bool("stats", false, "print log statistics and exit (no query needed)")
 		dfg         = fs.Bool("dfg", false, "print the directly-follows graph and exit (no query needed)")
@@ -102,24 +104,6 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		fmt.Fprint(out, report)
 		return nil
 	}
-	if *interactive {
-		var opts []wlq.Option
-		if *naive {
-			opts = append(opts, wlq.WithStrategy(wlq.StrategyNaive))
-		}
-		if *noOpt {
-			opts = append(opts, wlq.WithoutOptimizer())
-		}
-		if *limit > 0 {
-			opts = append(opts, wlq.WithLimit(*limit))
-		}
-		return repl(wlq.NewEngine(log, opts...), stdin, out)
-	}
-	if *query == "" {
-		fs.Usage()
-		return fmt.Errorf("missing -q")
-	}
-
 	var opts []wlq.Option
 	if *naive {
 		opts = append(opts, wlq.WithStrategy(wlq.StrategyNaive))
@@ -129,6 +113,16 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	}
 	if *limit > 0 {
 		opts = append(opts, wlq.WithLimit(*limit))
+	}
+	if b := (wlq.Budget{MaxComparisons: *maxComp, MaxWallTime: *timeout}); !b.IsZero() {
+		opts = append(opts, wlq.WithBudget(b))
+	}
+	if *interactive {
+		return repl(wlq.NewEngine(log, opts...), stdin, out)
+	}
+	if *query == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -q")
 	}
 	engine := wlq.NewEngine(log, opts...)
 

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/resilience"
+)
+
+// Budget enforcement. Options.Budget caps the resources one evaluation may
+// consume; the caps are checked inside the hot loops, but periodically, not
+// per comparison:
+//
+//   - comparisons: the opCount every join tallies into flushes to a shared
+//     atomic total every resilience.CheckInterval comparisons, where the
+//     MaxComparisons and MaxWallTime limits are checked. A query therefore
+//     overruns MaxComparisons by at most one interval per concurrent worker
+//     before aborting — the same counters eval.Meter reports, so budget
+//     accounting and the cost table agree.
+//   - outputs: checked after every operator application (MaxOutputs bounds
+//     the Theorem 1 incident blowup, intermediate results included).
+//   - result bytes and wall time: checked between workflow instances as
+//     each instance's incidents are produced.
+//
+// Deep inside a join there is no error return path (Algorithm 1's loops
+// produce slices, not errors), so a tripped limit aborts by panicking with
+// a budgetAbort, which safeEvalWID converts back into the *BudgetError at
+// the instance boundary. The panic never escapes the evaluator.
+//
+// Budgets are enforced on the context-aware paths (EvalParallelCtx and the
+// serial path under it); the plain Eval/Exists/EvalInstance entry points
+// have no error channel and ignore Options.Budget.
+
+// budgetAbort is the internal panic payload carrying the typed error.
+type budgetAbort struct {
+	err *resilience.BudgetError
+}
+
+// budgetState is the shared, per-evaluation enforcement state. All workers
+// of a parallel evaluation share one; counters are atomic. A nil
+// *budgetState disables enforcement everywhere it is passed.
+type budgetState struct {
+	b        resilience.Budget
+	started  time.Time
+	deadline time.Time // zero when MaxWallTime is unset
+
+	comparisons atomic.Uint64
+	outputs     atomic.Uint64
+	resultBytes atomic.Uint64
+}
+
+// newBudgetState starts enforcement for one evaluation; a zero budget
+// returns nil (no overhead on any path).
+func newBudgetState(b resilience.Budget) *budgetState {
+	if b.IsZero() {
+		return nil
+	}
+	bs := &budgetState{b: b, started: resilience.Now()}
+	if b.MaxWallTime > 0 {
+		bs.deadline = bs.started.Add(b.MaxWallTime)
+	}
+	return bs
+}
+
+// wallTimeErr returns the wall-time violation, or nil while within budget.
+func (bs *budgetState) wallTimeErr() *resilience.BudgetError {
+	if bs == nil || bs.deadline.IsZero() {
+		return nil
+	}
+	now := resilience.Now()
+	if now.Before(bs.deadline) {
+		return nil
+	}
+	return &resilience.BudgetError{
+		Dimension: resilience.DimWallTime,
+		Limit:     uint64(bs.b.MaxWallTime),
+		Measured:  uint64(now.Sub(bs.started)),
+	}
+}
+
+// addComparisons folds a flushed comparison delta into the shared total and
+// checks the comparison and wall-time limits, panicking with budgetAbort on
+// a violation (this is the mid-join check; there is no error return path).
+func (bs *budgetState) addComparisons(delta uint64) {
+	if bs == nil {
+		return
+	}
+	total := bs.comparisons.Add(delta)
+	if max := bs.b.MaxComparisons; max > 0 && total > max {
+		panic(budgetAbort{&resilience.BudgetError{
+			Dimension: resilience.DimComparisons, Limit: max, Measured: total,
+		}})
+	}
+	if err := bs.wallTimeErr(); err != nil {
+		panic(budgetAbort{err})
+	}
+}
+
+// addOutputs folds one operator application's incident count into the
+// shared total, panicking on a MaxOutputs violation.
+func (bs *budgetState) addOutputs(n int) {
+	if bs == nil {
+		return
+	}
+	total := bs.outputs.Add(uint64(n))
+	if max := bs.b.MaxOutputs; max > 0 && total > max {
+		panic(budgetAbort{&resilience.BudgetError{
+			Dimension: resilience.DimOutputs, Limit: max, Measured: total,
+		}})
+	}
+}
+
+// incidentBytes approximates the in-memory size of one incident: the
+// two-word header plus the seqs slice (three-word header + 8 bytes per
+// element).
+func incidentBytes(o incident.Incident) uint64 {
+	return 40 + 8*uint64(o.Len())
+}
+
+// addResult accounts one finished instance's incidents against the
+// result-size budget and re-checks wall time. Called at the instance
+// boundary, where an error return exists — no panic needed.
+func (bs *budgetState) addResult(incs []incident.Incident) error {
+	if bs == nil {
+		return nil
+	}
+	var bytes uint64
+	for _, o := range incs {
+		bytes += incidentBytes(o)
+	}
+	total := bs.resultBytes.Add(bytes)
+	if max := bs.b.MaxResultBytes; max > 0 && total > max {
+		return &resilience.BudgetError{
+			Dimension: resilience.DimResultBytes, Limit: max, Measured: total,
+		}
+	}
+	if err := bs.wallTimeErr(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Comparisons returns the comparison work charged so far (test hook).
+func (bs *budgetState) Comparisons() uint64 {
+	if bs == nil {
+		return 0
+	}
+	return bs.comparisons.Load()
+}
+
+// evalHook, when set, is called once per instance evaluation on the
+// context-aware paths, before any join work for that instance. It is a
+// deterministic fault-injection seam: internal/faultinject builds hooks
+// that panic on the Nth call or stall, and the chaos tests assert the
+// service degrades instead of dying. Production code never sets it; the
+// cost when unset is one atomic load per instance.
+var evalHook atomic.Pointer[func(wid uint64)]
+
+// SetEvalHook installs (or, with nil, removes) the per-instance evaluation
+// hook. Intended for tests only.
+func SetEvalHook(h func(wid uint64)) {
+	if h == nil {
+		evalHook.Store(nil)
+		return
+	}
+	evalHook.Store(&h)
+}
+
+// safeEvalWID evaluates one instance under the worker isolation boundary:
+// a budgetAbort panic becomes its typed *BudgetError, any other panic — a
+// genuine bug, or an injected fault — becomes a *resilience.PanicError with
+// an incident id and the captured stack. One poisoned instance evaluation
+// fails one query; the process, and the other queries in flight, keep going.
+func (e *Evaluator) safeEvalWID(p pattern.Node, wid uint64, bs *budgetState) (incs []incident.Incident, err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case budgetAbort:
+			incs, err = nil, r.err
+		default:
+			incs, err = nil, resilience.NewPanicError(r)
+		}
+	}()
+	if h := evalHook.Load(); h != nil {
+		(*h)(wid)
+	}
+	return e.evalWID(p, wid, bs), nil
+}

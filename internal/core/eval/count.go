@@ -28,7 +28,7 @@ func (e *Evaluator) Count(p pattern.Node) int {
 	}
 	total := 0
 	for _, wid := range e.ix.WIDs() {
-		total += len(e.evalWID(p, wid))
+		total += len(e.evalWID(p, wid, nil))
 	}
 	return total
 }

@@ -6,6 +6,7 @@ import (
 	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
 	"wlq/internal/predicate"
+	"wlq/internal/resilience"
 )
 
 // Strategy selects the operator join implementation.
@@ -47,6 +48,13 @@ type Options struct {
 	// be built (NewMeter) over the same pattern tree passed to Eval — nodes
 	// are matched by identity. Safe under EvalParallel: counters are atomic.
 	Meter *Meter
+	// Budget, when non-zero, caps the evaluation's comparison work,
+	// produced incidents, wall time and result size; a tripped limit aborts
+	// with an error wrapping resilience.ErrBudgetExceeded. Enforced on the
+	// context-aware paths (EvalParallelCtx and the serial path beneath it);
+	// the plain Eval/Exists/EvalInstance entry points have no error channel
+	// and ignore it. See internal/core/eval/budget.go for check cadence.
+	Budget resilience.Budget
 }
 
 // Evaluator computes incident sets incL(p) over an indexed log, per
@@ -73,7 +81,7 @@ func (e *Evaluator) Index() *Index { return e.ix }
 func (e *Evaluator) Eval(p pattern.Node) *incident.Set {
 	set := &incident.Set{}
 	for _, wid := range e.ix.WIDs() {
-		set.Add(e.evalWID(p, wid)...)
+		set.Add(e.evalWID(p, wid, nil)...)
 	}
 	set.Normalize()
 	return set
@@ -82,7 +90,7 @@ func (e *Evaluator) Eval(p pattern.Node) *incident.Set {
 // EvalInstance computes the incidents of p within a single workflow
 // instance.
 func (e *Evaluator) EvalInstance(p pattern.Node, wid uint64) *incident.Set {
-	return incident.NewSet(e.evalWID(p, wid)...)
+	return incident.NewSet(e.evalWID(p, wid, nil)...)
 }
 
 // Exists reports whether incL(p) is non-empty, short-circuiting across
@@ -91,7 +99,7 @@ func (e *Evaluator) EvalInstance(p pattern.Node, wid uint64) *incident.Set {
 // students who ...") without enumerating every match.
 func (e *Evaluator) Exists(p pattern.Node) bool {
 	for _, wid := range e.ix.WIDs() {
-		if len(e.evalWID(p, wid)) > 0 {
+		if len(e.evalWID(p, wid, nil)) > 0 {
 			return true
 		}
 	}
@@ -107,14 +115,14 @@ func (e *Evaluator) Exists(p pattern.Node) bool {
 // pattern's printed form (printing is injective on the AST; see the parser
 // round-trip tests). StrategyNaive stays verbatim Algorithm 1: no caching,
 // so the Lemma 1 benchmarks measure the published join work.
-func (e *Evaluator) evalWID(p pattern.Node, wid uint64) []incident.Incident {
+func (e *Evaluator) evalWID(p pattern.Node, wid uint64, bs *budgetState) []incident.Incident {
 	if e.opts.Strategy == StrategyNaive {
-		return e.evalNode(p, wid, nil)
+		return e.evalNode(p, wid, nil, bs)
 	}
-	return e.evalNode(p, wid, make(map[string][]incident.Incident))
+	return e.evalNode(p, wid, make(map[string][]incident.Incident), bs)
 }
 
-func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incident.Incident) []incident.Incident {
+func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incident.Incident, bs *budgetState) []incident.Incident {
 	var memoKey string
 	if memo != nil {
 		memoKey = p.String()
@@ -130,12 +138,19 @@ func (e *Evaluator) evalNode(p pattern.Node, wid uint64, memo map[string][]incid
 	case *pattern.Atom:
 		out = e.evalAtom(p, wid)
 	case *pattern.Binary:
-		left := e.evalNode(p.Left, wid, memo)
-		right := e.evalNode(p.Right, wid, memo)
-		if nm := e.opts.Meter.node(p); nm != nil {
-			var cnt opCount
+		left := e.evalNode(p.Left, wid, memo, bs)
+		right := e.evalNode(p.Right, wid, memo, bs)
+		nm := e.opts.Meter.node(p)
+		if nm != nil || bs != nil {
+			cnt := opCount{bs: bs}
 			out = e.applyOp(p.Op, left, right, &cnt)
-			nm.recordOp(len(left), len(right), cnt.comparisons, len(out))
+			if nm != nil {
+				nm.recordOp(len(left), len(right), cnt.comparisons, len(out))
+			}
+			// Budget checks come after the meter update so an abort's
+			// partial cost table includes every completed operator.
+			cnt.flushBudget()
+			bs.addOutputs(len(out))
 		} else {
 			out = e.applyOp(p.Op, left, right, nil)
 		}

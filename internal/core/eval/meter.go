@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"wlq/internal/core/pattern"
+	"wlq/internal/resilience"
 )
 
 // Per-operator cost accounting. Lemma 1 bounds the join work of each
@@ -192,12 +193,36 @@ func (m *Meter) TotalComparisons() uint64 {
 // functions increment it and the evaluator folds it into the meter. A nil
 // receiver is valid and makes add a no-op, so unmetered evaluation pays
 // only a predictable branch per comparison.
+//
+// When bs is non-nil the tally also drives budget enforcement: every
+// resilience.CheckInterval comparisons the local count is flushed into the
+// shared budget state, where the comparison and wall-time limits are
+// checked (and may abort the join by panicking; see budget.go). The flush
+// cadence keeps the hot loop free of atomics.
 type opCount struct {
 	comparisons uint64
+	bs          *budgetState
+	flushed     uint64 // comparisons already folded into bs
 }
 
 func (c *opCount) add(n uint64) {
-	if c != nil {
-		c.comparisons += n
+	if c == nil {
+		return
 	}
+	c.comparisons += n
+	if c.bs != nil && c.comparisons-c.flushed >= resilience.CheckInterval {
+		c.flushBudget()
+	}
+}
+
+// flushBudget folds the not-yet-flushed comparisons into the shared budget
+// state. Called from add at the check interval and once per operator
+// application for the remainder.
+func (c *opCount) flushBudget() {
+	if c == nil || c.bs == nil || c.comparisons == c.flushed {
+		return
+	}
+	delta := c.comparisons - c.flushed
+	c.flushed = c.comparisons
+	c.bs.addComparisons(delta)
 }

@@ -37,12 +37,15 @@ func (e *Evaluator) EvalParallel(p pattern.Node, workers int) *incident.Set {
 	return set
 }
 
-// EvalParallelCtx is EvalParallel with cooperative cancellation and
-// per-query statistics. Cancellation is checked between instances (one
-// instance's evaluation is never interrupted mid-join); when ctx is
-// cancelled the partial result is discarded and ctx.Err() returned. stats,
-// when non-nil, is filled in before returning — on both the success and
-// the cancellation path.
+// EvalParallelCtx is EvalParallel with cooperative cancellation, budget
+// enforcement and per-query statistics. Cancellation is checked between
+// instances, budget limits additionally inside the joins at the
+// resilience.CheckInterval stride; when ctx is cancelled or a budget limit
+// trips, the partial result is discarded and the error returned. Worker
+// panics do not escape: each instance evaluation runs under an isolation
+// boundary (safeEvalWID) that converts a panic into a *resilience.PanicError
+// so one poisoned query cannot take the process down. stats, when non-nil,
+// is filled in before returning — on both the success and the failure path.
 func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers int, stats *QueryStats) (*incident.Set, error) {
 	wids := e.ix.WIDs()
 	if workers <= 0 {
@@ -51,8 +54,9 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 	if workers > len(wids) {
 		workers = len(wids)
 	}
+	bs := newBudgetState(e.opts.Budget)
 	if workers <= 1 {
-		return e.evalSerialCtx(ctx, p, stats)
+		return e.evalSerialCtx(ctx, p, stats, bs)
 	}
 	if stats != nil {
 		stats.Workers = workers
@@ -65,7 +69,13 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 		wg        sync.WaitGroup
 		done      int64 // instances completed, across workers
 		cancelled atomic.Bool
+		errOnce   sync.Once
+		evalErr   error // first worker error; read after wg.Wait
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { evalErr = err })
+		cancelled.Store(true)
+	}
 	ctxDone := ctx.Done()
 	chunk := (len(wids) + workers - 1) / workers
 	for start := 0; start < len(wids); start += chunk {
@@ -86,7 +96,16 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 					return
 				default:
 				}
-				results[i] = e.evalWID(p, wids[i])
+				incs, err := e.safeEvalWID(p, wids[i], bs)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := bs.addResult(incs); err != nil {
+					fail(err)
+					return
+				}
+				results[i] = incs
 				atomic.AddInt64(&done, 1)
 			}
 		}(start, end)
@@ -104,6 +123,9 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
 
 	// Per-instance slices are individually normalized and instance ids are
 	// ascending, so concatenation in wid order is already canonical.
@@ -115,8 +137,9 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 }
 
 // evalSerialCtx is the workers<=1 path of EvalParallelCtx: Eval with
-// per-instance cancellation checks and stats.
-func (e *Evaluator) evalSerialCtx(ctx context.Context, p pattern.Node, stats *QueryStats) (*incident.Set, error) {
+// per-instance cancellation checks, budget enforcement, panic isolation
+// and stats.
+func (e *Evaluator) evalSerialCtx(ctx context.Context, p pattern.Node, stats *QueryStats, bs *budgetState) (*incident.Set, error) {
 	if stats != nil {
 		stats.Workers = 1
 	}
@@ -128,7 +151,13 @@ func (e *Evaluator) evalSerialCtx(ctx context.Context, p pattern.Node, stats *Qu
 			return nil, ctx.Err()
 		default:
 		}
-		incs := e.evalWID(p, wid)
+		incs, err := e.safeEvalWID(p, wid, bs)
+		if err != nil {
+			return nil, err
+		}
+		if err := bs.addResult(incs); err != nil {
+			return nil, err
+		}
 		set.Add(incs...)
 		if stats != nil {
 			stats.Instances++
@@ -168,7 +197,7 @@ func (e *Evaluator) ExistsParallel(p pattern.Node, workers int) bool {
 				if found.Load() {
 					return
 				}
-				if len(e.evalWID(p, wids[i])) > 0 {
+				if len(e.evalWID(p, wids[i], nil)) > 0 {
 					found.Store(true)
 					return
 				}

@@ -166,19 +166,21 @@ func ImportCSV(r io.Reader, opts CSVOptions) (*wlog.Log, error) {
 			wids[ev.caseID] = wid
 		}
 		if err := b.Emit(wid, ev.activity, nil, ev.attrs); err != nil {
-			return nil, fmt.Errorf("logio: case %q: %w", ev.caseID, err)
+			return nil, fmt.Errorf("logio: CSV line %d: case %q: %w", ev.fileOrd, ev.caseID, err)
 		}
 	}
 	if opts.CompleteCases {
 		// End in wid order for deterministic output.
 		ids := make([]uint64, 0, len(wids))
-		for _, wid := range wids {
+		cases := make(map[uint64]string, len(wids))
+		for caseID, wid := range wids {
 			ids = append(ids, wid)
+			cases[wid] = caseID
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, wid := range ids {
 			if err := b.End(wid); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("logio: completing case %q: %w", cases[wid], err)
 			}
 		}
 	}

@@ -1,0 +1,79 @@
+package logio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wlq/internal/faultinject"
+)
+
+// Fault-injection tests: the deterministic failing readers from
+// internal/faultinject exercise the error paths of every importer. The
+// properties asserted are the robustness contract: an I/O failure surfaces
+// the underlying error (wrapped, so errors.Is still sees it); a torn file
+// fails with a position-carrying parse error, never a silently short log;
+// and an adversarial Read schedule cannot change what is parsed.
+
+const faultText = "1\t1\t1\tSTART\t-\t-\n2\t1\t2\tA\t-\t-\n3\t1\t3\tB\t-\t-\n"
+
+func TestFaultErrorReaderPropagatesInjectedError(t *testing.T) {
+	for _, format := range []Format{FormatText, FormatJSONL} {
+		r := faultinject.ErrorReader(strings.NewReader(faultText), 8)
+		_, err := Decode(r, format)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("%v: err = %v, want wrapped ErrInjected", format, err)
+		}
+	}
+}
+
+func TestFaultErrorReaderPropagatesThroughImporters(t *testing.T) {
+	csvText := "case,activity\nc1,A\nc1,B\n"
+	if _, err := ImportCSV(faultinject.ErrorReader(strings.NewReader(csvText), 18), CSVOptions{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("CSV: err = %v, want wrapped ErrInjected", err)
+	}
+	xesText := `<log><trace><event><string key="concept:name" value="A"/></event></trace></log>`
+	if _, err := ImportXES(faultinject.ErrorReader(strings.NewReader(xesText), 20), XESOptions{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("XES: err = %v, want wrapped ErrInjected", err)
+	}
+}
+
+func TestFaultTruncatedCSVFailsWithPosition(t *testing.T) {
+	csvText := "case,activity\nc1,A\nc1,B\n"
+	// Cut the last record to "c1": a short row, not a short log.
+	r := faultinject.TruncateReader(strings.NewReader(csvText), int64(len(csvText)-3))
+	_, err := ImportCSV(r, CSVOptions{})
+	if err == nil {
+		t.Fatal("truncated CSV imported successfully")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("truncation error carries no line position: %v", err)
+	}
+}
+
+func TestFaultTruncatedTextFailsWithPosition(t *testing.T) {
+	// Cut the final record down to four fields.
+	r := faultinject.TruncateReader(strings.NewReader(faultText), int64(len(faultText)-6))
+	_, err := Decode(r, FormatText)
+	if err == nil {
+		t.Fatal("truncated text log decoded successfully")
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("truncation error carries no line position: %v", err)
+	}
+}
+
+func TestFaultSlowReaderParsesIdentically(t *testing.T) {
+	want, err := Decode(strings.NewReader(faultText), FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One byte per Read: every record is split across Read boundaries.
+	got, err := Decode(faultinject.SlowReader(strings.NewReader(faultText), 1), FormatText)
+	if err != nil {
+		t.Fatalf("slow-read decode failed: %v", err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("read schedule changed the decoded log")
+	}
+}

@@ -82,6 +82,62 @@ func FuzzDecodeJSONL(f *testing.F) {
 	})
 }
 
+// FuzzImportCSV checks the CSV event-log importer never panics on arbitrary
+// bytes and that any log it accepts satisfies Definition 2. The seeds
+// include the torn-file shapes the fault-injection harness produces
+// (truncated mid-record, bare header, reserved activities).
+func FuzzImportCSV(f *testing.F) {
+	seeds := []string{
+		"case,activity\nc1,A\nc1,B\n",
+		"case,activity,time\nc1,A,2026-01-01\nc2,B,2026-01-02\n",
+		"case,activity\nc1,START\n", // reserved activity
+		"case,activity\nc1,A\nc1",   // truncated mid-record
+		"case,activity\n",           // header only
+		"activity\nA\n",             // missing case column
+		"case,activity\n\"c1,A\n",   // broken quote
+		"case,activity,x\nc1,A,1;2\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ImportCSV(strings.NewReader(input), CSVOptions{CompleteCases: true})
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("ImportCSV accepted an invalid log: %v", verr)
+		}
+	})
+}
+
+// FuzzImportXES is the same property for the XES importer.
+func FuzzImportXES(f *testing.F) {
+	seeds := []string{
+		`<log><trace><event><string key="concept:name" value="A"/></event></trace></log>`,
+		`<log><trace><event><string key="concept:name" value="A"/><int key="n" value="3"/></event></trace></log>`,
+		`<log><trace><event><string key="k" value="v"/></event></trace></log>`, // no concept:name
+		`<log><trace><event><string key="concept:name" value="START"/></event></trace></log>`,
+		`<log><trace><event>`, // truncated mid-element
+		`<log></log>`,
+		`not xml at all`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ImportXES(strings.NewReader(input), XESOptions{CompleteCases: true})
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("ImportXES accepted an invalid log: %v", verr)
+		}
+	})
+}
+
 // FuzzParseValue checks value parsing never panics and that parsing is
 // total for the printed form of what it accepts.
 func FuzzParseValue(f *testing.F) {

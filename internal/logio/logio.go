@@ -300,12 +300,17 @@ func (r *Reader) Read() (wlog.Record, error) {
 		}
 		rec, err := r.decodeLine(line)
 		if err != nil {
+			// A read error mid-line hands the scanner a torn final token;
+			// its parse failure is a symptom, the I/O error the cause.
+			if rerr := r.sc.Err(); rerr != nil {
+				return wlog.Record{}, fmt.Errorf("logio: line %d: read interrupted: %w", r.line, rerr)
+			}
 			return wlog.Record{}, fmt.Errorf("logio: line %d: %w", r.line, err)
 		}
 		return rec, nil
 	}
 	if err := r.sc.Err(); err != nil {
-		return wlog.Record{}, err
+		return wlog.Record{}, fmt.Errorf("logio: line %d: %w", r.line+1, err)
 	}
 	return wlog.Record{}, io.EOF
 }

@@ -115,7 +115,16 @@ func ImportXES(r io.Reader, opts XESOptions) (*wlog.Log, error) {
 	wids := make([]uint64, len(cases))
 	emit := func(ci, ei int) error {
 		ev := cases[ci].events[ei]
-		return b.Emit(wids[ci], ev.Activity, nil, ev.Out)
+		if err := b.Emit(wids[ci], ev.Activity, nil, ev.Out); err != nil {
+			return fmt.Errorf("logio: trace %d event %d: %w", ci+1, ei+1, err)
+		}
+		return nil
+	}
+	end := func(ci int) error {
+		if err := b.End(wids[ci]); err != nil {
+			return fmt.Errorf("logio: completing trace %d: %w", ci+1, err)
+		}
+		return nil
 	}
 	if opts.Serial {
 		for ci := range cases {
@@ -126,7 +135,7 @@ func ImportXES(r io.Reader, opts XESOptions) (*wlog.Log, error) {
 				}
 			}
 			if opts.CompleteCases {
-				if err := b.End(wids[ci]); err != nil {
+				if err := end(ci); err != nil {
 					return nil, err
 				}
 			}
@@ -151,8 +160,8 @@ func ImportXES(r io.Reader, opts XESOptions) (*wlog.Log, error) {
 		}
 	}
 	if opts.CompleteCases {
-		for _, wid := range wids {
-			if err := b.End(wid); err != nil {
+		for ci := range wids {
+			if err := end(ci); err != nil {
 				return nil, err
 			}
 		}

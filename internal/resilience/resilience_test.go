@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetIsZero(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Fatal("zero Budget should be zero")
+	}
+	for i, b := range []Budget{
+		{MaxComparisons: 1},
+		{MaxOutputs: 1},
+		{MaxWallTime: time.Nanosecond},
+		{MaxResultBytes: 1},
+	} {
+		if b.IsZero() {
+			t.Fatalf("budget %d with a limit should not be zero", i)
+		}
+	}
+}
+
+func TestBudgetErrorWrapsSentinel(t *testing.T) {
+	var err error = &BudgetError{Dimension: DimComparisons, Limit: 10, Measured: 14}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("BudgetError must wrap ErrBudgetExceeded")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Dimension != DimComparisons {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+	if got := err.Error(); got != "query budget exceeded: comparisons 14 > limit 10" {
+		t.Fatalf("unexpected message %q", got)
+	}
+	wt := &BudgetError{Dimension: DimWallTime,
+		Limit: uint64(time.Second), Measured: uint64(2 * time.Second)}
+	if got := wt.Error(); got != "query budget exceeded: wall_time 2s > limit 1s" {
+		t.Fatalf("unexpected wall-time message %q", got)
+	}
+}
+
+func TestAdmissionBoundsAndSheds(t *testing.T) {
+	a := NewAdmission(2)
+	if !a.TryAcquire() || !a.TryAcquire() {
+		t.Fatal("first two acquires must succeed")
+	}
+	if a.TryAcquire() {
+		t.Fatal("third acquire must shed")
+	}
+	if got := a.Shed(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+	a.Release()
+	if !a.TryAcquire() {
+		t.Fatal("acquire after release must succeed")
+	}
+	if a.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", a.Capacity())
+	}
+	if a.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter must be positive")
+	}
+}
+
+func TestAdmissionNilAdmitsEverything(t *testing.T) {
+	var a *Admission
+	for i := 0; i < 100; i++ {
+		if !a.TryAcquire() {
+			t.Fatal("nil admission must admit")
+		}
+	}
+	a.Release()
+	if a.Shed() != 0 || a.InFlight() != 0 || a.Capacity() != 0 {
+		t.Fatal("nil admission counters must be zero")
+	}
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if a.TryAcquire() {
+					if n := a.InFlight(); n < 1 || n > 4 {
+						t.Errorf("in-flight %d outside [1,4]", n)
+					}
+					a.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", a.InFlight())
+	}
+}
+
+func TestRecoverAsError(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverAsError(&err)
+		panic("kaboom")
+	}
+	err := run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.IncidentID) != 12 {
+		t.Fatalf("incident id %q not 12 hex chars", pe.IncidentID)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+	// No panic: err untouched.
+	clean := func() (err error) {
+		defer RecoverAsError(&err)
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Fatalf("clean path produced %v", err)
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	SetClock(func() time.Time { return fixed })
+	defer SetClock(nil)
+	if !Now().Equal(fixed) {
+		t.Fatalf("Now() = %v, want %v", Now(), fixed)
+	}
+	SetClock(nil)
+	if d := time.Since(Now()); d < -time.Minute || d > time.Minute {
+		t.Fatalf("restored clock is off by %v", d)
+	}
+}
+
+func TestIncidentIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewIncidentID()
+		if seen[id] {
+			t.Fatalf("duplicate incident id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func ExampleBudget() {
+	b := Budget{MaxComparisons: 1_000_000, MaxWallTime: 2 * time.Second}
+	fmt.Println(b.IsZero())
+	// Output: false
+}

@@ -10,6 +10,7 @@ import (
 
 	"wlq/internal/core/eval"
 	"wlq/internal/core/pattern"
+	"wlq/internal/resilience"
 )
 
 // metrics holds the service counters exported at GET /metrics. Counters are
@@ -29,6 +30,16 @@ type metrics struct {
 	slowQueries        atomic.Uint64
 	inflight           atomic.Int64
 	busyWorkers        atomic.Int64
+
+	// Resilience counters: load shed by admission control, panics converted
+	// to errors (handler or eval worker), budget-tripped evaluations,
+	// pre-flight cost-ceiling rejections, and hot-reload outcomes.
+	queriesShed       atomic.Uint64
+	panicsRecovered   atomic.Uint64
+	budgetAborts      atomic.Uint64
+	costRejected      atomic.Uint64
+	logReloads        atomic.Uint64
+	logReloadFailures atomic.Uint64
 
 	// Per-operator totals, indexed by pattern.Op (1..4), folded in from
 	// each evaluated query's eval.Meter: the measured record-level
@@ -186,6 +197,15 @@ type metricsDoc struct {
 	IncidentsReturned  uint64     `json:"incidents_returned"`
 	InstancesEvaluated uint64     `json:"instances_evaluated"`
 	SlowQueries        uint64     `json:"slow_queries"`
+	QueriesShed        uint64     `json:"queries_shed"`
+	PanicsRecovered    uint64     `json:"panics_recovered"`
+	BudgetAborts       uint64     `json:"budget_aborts"`
+	CostRejected       uint64     `json:"cost_rejected"`
+	LogReloads         uint64     `json:"log_reloads"`
+	LogReloadFailures  uint64     `json:"log_reload_failures"`
+	LogsQuarantined    int        `json:"logs_quarantined"`
+	AdmissionCapacity  int        `json:"admission_capacity"`
+	AdmissionInFlight  int        `json:"admission_in_flight"`
 	InflightQueries    int64      `json:"inflight_queries"`
 	WorkersPerQuery    int        `json:"workers_per_query"`
 	BusyWorkers        int64      `json:"busy_workers"`
@@ -199,8 +219,8 @@ type metricsDoc struct {
 }
 
 // snapshot assembles the metrics document. workersPerQuery is the resolved
-// per-query worker count; logs and cache supply their own gauges.
-func (m *metrics) snapshot(logsLoaded, workersPerQuery int, cache *lru) metricsDoc {
+// per-query worker count; logs, cache and admission supply their own gauges.
+func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery int, cache *lru, adm *resilience.Admission) metricsDoc {
 	count, p50, p95, p99, max := m.lat.percentiles()
 	capacity := runtime.GOMAXPROCS(0)
 	busy := m.busyWorkers.Load()
@@ -222,6 +242,15 @@ func (m *metrics) snapshot(logsLoaded, workersPerQuery int, cache *lru) metricsD
 		IncidentsReturned:   m.incidentsReturned.Load(),
 		InstancesEvaluated:  m.instancesEvaluated.Load(),
 		SlowQueries:         m.slowQueries.Load(),
+		QueriesShed:         m.queriesShed.Load(),
+		PanicsRecovered:     m.panicsRecovered.Load(),
+		BudgetAborts:        m.budgetAborts.Load(),
+		CostRejected:        m.costRejected.Load(),
+		LogReloads:          m.logReloads.Load(),
+		LogReloadFailures:   m.logReloadFailures.Load(),
+		LogsQuarantined:     quarantined,
+		AdmissionCapacity:   adm.Capacity(),
+		AdmissionInFlight:   adm.InFlight(),
 		InflightQueries:     m.inflight.Load(),
 		WorkersPerQuery:     workersPerQuery,
 		BusyWorkers:         busy,

@@ -38,9 +38,9 @@ func counter(v uint64) []promSample {
 // writePrometheus emits the full exposition document.
 func (s *Server) writePrometheus(w http.ResponseWriter) {
 	s.mu.RLock()
-	loaded := len(s.logs)
+	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
-	doc := s.metrics.snapshot(loaded, s.cfg.Workers, s.cache)
+	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.cache, s.admission)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -56,6 +56,24 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		counter(doc.QueryTimeouts)...)
 	writeFamily(w, "wlq_slow_queries_total", "Queries slower than the slow-query threshold.", "counter",
 		counter(doc.SlowQueries)...)
+	writeFamily(w, "wlq_queries_shed_total", "Queries shed by admission control (429).", "counter",
+		counter(doc.QueriesShed)...)
+	writeFamily(w, "wlq_panics_recovered_total", "Panics converted to errors (handler or eval worker).", "counter",
+		counter(doc.PanicsRecovered)...)
+	writeFamily(w, "wlq_budget_aborts_total", "Evaluations aborted by a query budget (422).", "counter",
+		counter(doc.BudgetAborts)...)
+	writeFamily(w, "wlq_cost_rejected_total", "Queries rejected by the pre-flight cost ceiling (422).", "counter",
+		counter(doc.CostRejected)...)
+	writeFamily(w, "wlq_log_reloads_total", "Successful per-log hot reloads.", "counter",
+		counter(doc.LogReloads)...)
+	writeFamily(w, "wlq_log_reload_failures_total", "Hot reloads that quarantined a log.", "counter",
+		counter(doc.LogReloadFailures)...)
+	writeFamily(w, "wlq_logs_quarantined", "Logs serving a last-good snapshot after a failed reload.", "gauge",
+		gauge(float64(doc.LogsQuarantined))...)
+	writeFamily(w, "wlq_admission_capacity", "Admission controller in-flight query bound (0 = unlimited).", "gauge",
+		gauge(float64(doc.AdmissionCapacity))...)
+	writeFamily(w, "wlq_admission_in_flight", "Queries currently admitted.", "gauge",
+		gauge(float64(doc.AdmissionInFlight))...)
 	writeFamily(w, "wlq_cache_hits_total", "Result-cache hits.", "counter",
 		counter(doc.CacheHits)...)
 	writeFamily(w, "wlq_cache_misses_total", "Result-cache misses.", "counter",

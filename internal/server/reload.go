@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"wlq/internal/core/eval"
+)
+
+// Hot reload with quarantine. ReloadLogs re-reads every registered log from
+// its source spec via Config.Loader and swaps the rebuilt entry in atomically
+// (logEntry values are immutable; in-flight queries keep the snapshot they
+// resolved). A log whose reload fails — the loader errors, or the fresh log
+// fails Definition 2 validation — is quarantined: the last-good entry keeps
+// serving, the error is recorded, and /readyz + /v1/logs surface it until a
+// later reload succeeds. The result cache needs no invalidation sweep: keys
+// carry the entry's reload generation, so stale results simply become
+// unreachable and age out under LRU pressure.
+
+// ReloadResult summarizes one ReloadLogs pass.
+type ReloadResult struct {
+	// Reloaded lists the logs whose fresh load replaced the served entry.
+	Reloaded []string `json:"reloaded"`
+	// Quarantined maps each failing log to its reload error; those logs
+	// keep serving their last-good snapshot.
+	Quarantined map[string]string `json:"quarantined,omitempty"`
+}
+
+// ReloadLogs re-reads every registered log. It returns an error only when
+// reloading is not configured (nil Config.Loader); per-log failures are
+// reported in the result and quarantine the log rather than failing the pass.
+func (s *Server) ReloadLogs() (ReloadResult, error) {
+	if s.cfg.Loader == nil {
+		return ReloadResult{}, fmt.Errorf("server: hot reload not configured (no loader)")
+	}
+
+	// Snapshot the roster under the read lock, then load and validate
+	// outside any lock: loading is file I/O plus index building and must
+	// not stall queries.
+	s.mu.RLock()
+	type target struct{ name, source string }
+	targets := make([]target, 0, len(s.names))
+	for _, name := range s.names {
+		targets = append(targets, target{name: name, source: s.logs[name].source})
+	}
+	s.mu.RUnlock()
+
+	res := ReloadResult{Reloaded: []string{}}
+	fresh := make(map[string]*logEntry, len(targets))
+	for _, t := range targets {
+		l, err := s.cfg.Loader(t.source)
+		if err == nil && l == nil {
+			err = fmt.Errorf("loader returned no log")
+		}
+		if err == nil {
+			// Definition 2 validation gates the swap: AddLog tolerates an
+			// invalid log at startup (the operator sees what they loaded),
+			// but a reload degrading a valid log to an invalid one is a
+			// fault to contain, not a state to adopt.
+			err = l.Validate()
+		}
+		if err != nil {
+			s.metrics.logReloadFailures.Add(1)
+			if res.Quarantined == nil {
+				res.Quarantined = make(map[string]string)
+			}
+			res.Quarantined[t.name] = err.Error()
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("log reload failed; serving last-good snapshot",
+					"log", t.name, "source", t.source, "error", err)
+			}
+			continue
+		}
+		fresh[t.name] = &logEntry{
+			name:   t.name,
+			source: t.source,
+			log:    l,
+			ix:     eval.NewIndex(l),
+			valid:  true,
+		}
+		res.Reloaded = append(res.Reloaded, t.name)
+	}
+	sort.Strings(res.Reloaded)
+
+	s.mu.Lock()
+	for name, e := range fresh {
+		if old, ok := s.logs[name]; ok {
+			e.gen = old.gen + 1
+		}
+		s.logs[name] = e
+		delete(s.quarantine, name)
+		s.metrics.logReloads.Add(1)
+	}
+	for name, reason := range res.Quarantined {
+		s.quarantine[name] = reason
+	}
+	s.mu.Unlock()
+
+	if s.cfg.Logger != nil && len(res.Reloaded) > 0 {
+		s.cfg.Logger.Info("logs reloaded", "reloaded", res.Reloaded,
+			"quarantined", len(res.Quarantined))
+	}
+	return res, nil
+}
+
+// handleReload is POST /v1/reload: trigger a reload pass and report the
+// outcome. 501 when no loader is configured, 200 otherwise — per-log
+// failures are data (the quarantined map), not a request failure.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	res, err := s.ReloadLogs()
+	if err != nil {
+		writeError(w, http.StatusNotImplemented, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

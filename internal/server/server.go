@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"wlq/internal/core/pattern"
 	"wlq/internal/core/rewrite"
 	"wlq/internal/obs"
+	"wlq/internal/resilience"
 	"wlq/internal/wlog"
 )
 
@@ -44,6 +46,11 @@ const (
 	DefaultCacheSize = 256
 	DefaultTimeout   = 10 * time.Second
 	DefaultMaxBody   = 1 << 20 // 1 MiB
+	// DefaultMaxInFlight is the admission controller's default concurrency
+	// bound: generous next to GOMAXPROCS evaluation workers, tight enough
+	// that a burst of Lemma 1 worst cases sheds instead of queueing without
+	// bound.
+	DefaultMaxInFlight = 64
 )
 
 // Config tunes the service. The zero value serves with merge joins,
@@ -70,6 +77,26 @@ type Config struct {
 	SlowQuery time.Duration
 	// EnablePprof exposes the GET /debug/pprof/* profiling handlers.
 	EnablePprof bool
+	// MaxInFlight bounds concurrently served queries (admission control):
+	// arrivals beyond the bound are shed immediately with 429 and a
+	// Retry-After header instead of queueing behind a saturated worker
+	// pool. 0 means DefaultMaxInFlight; negative disables shedding.
+	MaxInFlight int
+	// Budget caps each query evaluation's resources (comparisons, produced
+	// incidents, wall time, result bytes); zero fields are unlimited. A
+	// tripped budget maps to HTTP 422 with the partial per-operator cost
+	// table attached. See docs/RESILIENCE.md for semantics and tuning.
+	Budget resilience.Budget
+	// MaxPredictedCost, when positive, is the pre-flight admission ceiling:
+	// a query whose optimized plan's Lemma 1 cost estimate (rewrite
+	// cost model) exceeds it is rejected with 422 before any evaluation
+	// starts — the cost model tells us in advance which queries are
+	// dangerous, so the worst ones never consume a worker at all.
+	MaxPredictedCost float64
+	// Loader re-reads a log's source spec for hot reload (POST /v1/reload,
+	// and SIGHUP in cmd/wlq-serve). Nil disables reloading. The CLI passes
+	// wlq.OpenLog.
+	Loader func(spec string) (*wlog.Log, error)
 }
 
 // withDefaults resolves the zero values.
@@ -92,7 +119,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// logEntry is one loaded log with its prebuilt index.
+// logEntry is one loaded (generation of a) log with its prebuilt index. An
+// entry is immutable: hot reload replaces the pointer wholesale, so in-flight
+// queries keep the consistent snapshot they resolved at lookup time.
 type logEntry struct {
 	name   string
 	source string
@@ -100,27 +129,36 @@ type logEntry struct {
 	ix     *eval.Index
 	valid  bool
 	reason string // validation error text when !valid
+	gen    uint64 // reload generation; part of the result-cache key
 }
 
 // Server is the query service. Safe for concurrent use; logs are loaded
-// before serving (AddLog) and immutable afterwards.
+// before serving (AddLog) and replaced atomically by ReloadLogs afterwards.
 type Server struct {
-	cfg     Config
-	mu      sync.RWMutex
-	logs    map[string]*logEntry
-	names   []string // registration order, for stable /v1/logs listings
-	cache   *lru
-	metrics *metrics
+	cfg        Config
+	admission  *resilience.Admission
+	mu         sync.RWMutex
+	logs       map[string]*logEntry
+	names      []string          // registration order, for stable /v1/logs listings
+	quarantine map[string]string // log name -> last reload error (entry kept at last-good)
+	cache      *lru
+	metrics    *metrics
 }
 
 // New creates a Server with no logs loaded.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	capacity := cfg.MaxInFlight
+	if capacity == 0 {
+		capacity = DefaultMaxInFlight
+	}
 	return &Server{
-		cfg:     cfg,
-		logs:    make(map[string]*logEntry),
-		cache:   newLRU(cfg.CacheSize),
-		metrics: newMetrics(),
+		cfg:        cfg,
+		admission:  resilience.NewAdmission(capacity), // nil (unlimited) when negative
+		logs:       make(map[string]*logEntry),
+		quarantine: make(map[string]string),
+		cache:      newLRU(cfg.CacheSize),
+		metrics:    newMetrics(),
 	}
 }
 
@@ -173,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/logs", s.handleLogs)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -183,10 +222,50 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	// Panic isolation wraps every handler: a panicking request becomes a
+	// 500 with an incident id while the process keeps serving. Request
+	// logging sits outermost so recovered panics are still logged with
+	// their status code.
+	h := s.recoverPanics(mux)
 	if s.cfg.Logger != nil {
-		return s.logRequests(mux)
+		return s.logRequests(h)
 	}
-	return mux
+	return h
+}
+
+// recoverPanics converts a handler panic into a 500 carrying an incident id
+// (logged alongside the stack) instead of killing the connection — and, with
+// the default http.Server behavior, filling the error log with stack traces.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response and must keep its net/http semantics.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			pe := resilience.NewPanicError(v)
+			s.metrics.panicsRecovered.Add(1)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("panic recovered in handler",
+					"incident_id", pe.IncidentID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(v),
+					"stack", string(pe.Stack),
+				)
+			}
+			writeJSON(w, http.StatusInternalServerError, errorDoc{
+				Error:      "internal server error",
+				IncidentID: pe.IncidentID,
+			})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
@@ -198,22 +277,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and indexed (AddLog builds the index synchronously, so a registered log
 // is a queryable log), 503 before that — load balancers keep the instance
 // out of rotation until it can actually answer queries.
+// A quarantined log (a reload that failed validation or loading; the
+// last-good snapshot is still served) does not flip readiness, but the
+// degradation is surfaced in the body so operators see it on the probe
+// they already watch.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	loaded := len(s.logs)
+	quarantined := make(map[string]string, len(s.quarantine))
+	for name, reason := range s.quarantine {
+		quarantined[name] = reason
+	}
 	s.mu.RUnlock()
 	if loaded == 0 {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"status": "loading", "logs_loaded": 0})
 		return
 	}
-	writeJSON(w, http.StatusOK,
-		map[string]any{"status": "ready", "logs_loaded": loaded})
+	doc := map[string]any{"status": "ready", "logs_loaded": loaded}
+	if len(quarantined) > 0 {
+		doc["status"] = "degraded"
+		doc["quarantined"] = quarantined
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
-// errorDoc is the JSON error envelope.
+// errorDoc is the JSON error envelope. Beyond the message, resilience
+// failures attach machine-readable context: the incident id of a recovered
+// panic (500), the retry hint of a shed query (429), the tripped budget
+// dimension with its partial per-operator cost table (422), or the predicted
+// cost versus the admission ceiling (422 pre-flight).
 type errorDoc struct {
-	Error string `json:"error"`
+	Error             string        `json:"error"`
+	IncidentID        string        `json:"incident_id,omitempty"`
+	RetryAfterSeconds int           `json:"retry_after_seconds,omitempty"`
+	BudgetDimension   string        `json:"budget_dimension,omitempty"`
+	BudgetLimit       uint64        `json:"budget_limit,omitempty"`
+	BudgetMeasured    uint64        `json:"budget_measured,omitempty"`
+	PredictedCost     float64       `json:"predicted_cost,omitempty"`
+	CostCeiling       float64       `json:"cost_ceiling,omitempty"`
+	CostTable         []obs.CostRow `json:"cost_table,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -288,6 +391,21 @@ type queryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queriesTotal.Add(1)
+	// Admission control: shed immediately rather than queue behind a
+	// saturated worker pool — a bounded, fast 429 beats an unbounded, slow
+	// 504 (clients can back off; goodput is preserved under overload).
+	if !s.admission.TryAcquire() {
+		s.metrics.queriesShed.Add(1)
+		retry := s.admission.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{
+			Error: fmt.Sprintf("server saturated: %d queries in flight (limit %d)",
+				s.admission.InFlight(), s.admission.Capacity()),
+			RetryAfterSeconds: int(retry / time.Second),
+		})
+		return
+	}
+	defer s.admission.Release()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	started := time.Now()
@@ -389,7 +507,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("key", canonical)
 	sp.End()
 
-	cacheKey := fmt.Sprintf("%s\x00%s\x00limit=%d", entry.name, canonical, req.Limit)
+	// The reload generation is part of the key, so a hot reload makes every
+	// pre-reload entry unreachable (LRU pressure ages them out) without an
+	// invalidation sweep.
+	cacheKey := fmt.Sprintf("%s\x00gen=%d\x00%s\x00limit=%d", entry.name, entry.gen, canonical, req.Limit)
 	// Traced queries bypass the result cache: a cached result carries no
 	// fresh evaluation to measure, so a hit would return an empty or stale
 	// cost table.
@@ -419,8 +540,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			obs.RewriteSpans(sp, trace)
 			sp.End()
 		}
+
+		// Pre-flight admission: the Lemma 1 cost model prices the plan the
+		// service will actually run, so queries predicted to blow past the
+		// ceiling are rejected before they consume a single worker.
+		if s.cfg.MaxPredictedCost > 0 {
+			predicted := rewrite.NewEstimator(entry.ix).Cost(plan)
+			if predicted > s.cfg.MaxPredictedCost {
+				s.metrics.costRejected.Add(1)
+				writeJSON(w, http.StatusUnprocessableEntity, errorDoc{
+					Error: fmt.Sprintf(
+						"query rejected before evaluation: predicted cost %.3g exceeds the ceiling %.3g (tighten the pattern, or raise -max-predicted-cost)",
+						predicted, s.cfg.MaxPredictedCost),
+					PredictedCost: predicted,
+					CostCeiling:   s.cfg.MaxPredictedCost,
+				})
+				return
+			}
+		}
+
 		meter := eval.NewMeter(plan)
-		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter})
+		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter, Budget: s.cfg.Budget})
 		workers := s.resolveWorkers(req.Workers, entry.ix)
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 		defer cancel()
@@ -438,11 +578,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 			sp.End()
-			if errors.Is(err, context.DeadlineExceeded) {
+			// Error paths return before cache.put: a timeout, budget abort
+			// or fault never poisons the result cache (see TestCacheNotPoisoned*).
+			var be *resilience.BudgetError
+			var pe *resilience.PanicError
+			switch {
+			case errors.As(err, &be):
+				// 422 with the partial cost table: every operator that
+				// completed before the abort is accounted, so the client
+				// sees where the budget went.
+				s.metrics.budgetAborts.Add(1)
+				writeJSON(w, http.StatusUnprocessableEntity, errorDoc{
+					Error:           fmt.Sprintf("query aborted: %v", be),
+					BudgetDimension: be.Dimension,
+					BudgetLimit:     be.Limit,
+					BudgetMeasured:  be.Measured,
+					CostTable:       obs.CostTable(plan, meter),
+				})
+			case errors.As(err, &pe):
+				s.metrics.panicsRecovered.Add(1)
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Error("panic recovered in evaluation",
+						"incident_id", pe.IncidentID,
+						"query", req.Query,
+						"panic", fmt.Sprint(pe.Value),
+						"stack", string(pe.Stack),
+					)
+				}
+				writeJSON(w, http.StatusInternalServerError, errorDoc{
+					Error:      "evaluation fault; the query was isolated and the service keeps serving",
+					IncidentID: pe.IncidentID,
+				})
+			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.queryTimeouts.Add(1)
 				writeError(w, http.StatusGatewayTimeout,
 					"query exceeded the %v evaluation timeout", s.timeout(req.TimeoutMS))
-			} else {
+			default:
 				s.metrics.queryErrors.Add(1)
 				writeError(w, http.StatusInternalServerError, "evaluation aborted: %v", err)
 			}
@@ -635,6 +806,11 @@ type logDoc struct {
 	Activities        int    `json:"activities"`
 	Valid             bool   `json:"valid"`
 	Error             string `json:"error,omitempty"`
+	// Generation counts hot reloads of this log (0 = the startup load).
+	Generation uint64 `json:"generation"`
+	// ReloadError is set while the log is quarantined: the last reload
+	// failed and this entry is the retained last-good snapshot.
+	ReloadError string `json:"reload_error,omitempty"`
 }
 
 // logsResponse is the GET /v1/logs result.
@@ -645,8 +821,12 @@ type logsResponse struct {
 func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	entries := make([]*logEntry, 0, len(s.names))
+	reloadErrs := make(map[string]string, len(s.quarantine))
 	for _, name := range s.names {
 		entries = append(entries, s.logs[name])
+		if reason, ok := s.quarantine[name]; ok {
+			reloadErrs[name] = reason
+		}
 	}
 	s.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
@@ -668,6 +848,8 @@ func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 			Activities:        len(e.ix.Activities()),
 			Valid:             e.valid,
 			Error:             e.reason,
+			Generation:        e.gen,
+			ReloadError:       reloadErrs[e.name],
 		}
 	}
 	writeJSON(w, http.StatusOK, logsResponse{Logs: docs})
@@ -685,7 +867,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	loaded := len(s.logs)
+	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(loaded, s.cfg.Workers, s.cache))
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.cache, s.admission))
 }

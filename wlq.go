@@ -48,6 +48,7 @@ import (
 	"wlq/internal/logio"
 	"wlq/internal/models"
 	"wlq/internal/obs"
+	"wlq/internal/resilience"
 	"wlq/internal/stream"
 	"wlq/internal/wlog"
 )
@@ -78,7 +79,15 @@ type (
 	Monitor = stream.Monitor
 	// Alert reports a Monitor watch firing.
 	Alert = stream.Alert
+	// Budget caps a query evaluation's resources (comparisons, produced
+	// incidents, wall time, result bytes); zero fields are unlimited. See
+	// WithBudget and docs/RESILIENCE.md.
+	Budget = resilience.Budget
 )
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
+// budget-abort error returned from a budgeted Query.
+var ErrBudgetExceeded = resilience.ErrBudgetExceeded
 
 // NewMonitor creates a streaming monitor delivering alerts to handler (nil
 // is allowed). Register patterns with Watch, then feed records with Ingest
@@ -236,6 +245,7 @@ type Engine struct {
 	strategy Strategy
 	optimize bool
 	limit    int
+	budget   Budget
 }
 
 // Option configures an Engine.
@@ -256,6 +266,14 @@ func WithoutOptimizer() Option {
 // operator per instance — a safety valve for worst-case queries.
 func WithLimit(n int) Option {
 	return func(e *Engine) { e.limit = n }
+}
+
+// WithBudget caps each query's evaluation resources; a tripped limit aborts
+// the query with an error wrapping ErrBudgetExceeded. Enforced by Query,
+// QueryPattern and QueryTraced (the entry points with an error channel);
+// Exists and Count are unaffected.
+func WithBudget(b Budget) Option {
+	return func(e *Engine) { e.budget = b }
 }
 
 // NewEngine indexes the log and returns a query engine.
@@ -292,7 +310,17 @@ func (e *Engine) preparePattern(p Pattern) Pattern {
 }
 
 func (e *Engine) evaluator() *eval.Evaluator {
-	return eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit})
+	return eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Budget: e.budget})
+}
+
+// evalSet evaluates a prepared plan, routing through the budget-enforcing
+// path when a budget is set (the plain Eval has no error channel).
+func (e *Engine) evalSet(p Pattern) (*IncidentSet, error) {
+	ev := e.evaluator()
+	if !e.budget.IsZero() {
+		return ev.EvalParallelCtx(context.Background(), p, 1, nil)
+	}
+	return ev.Eval(p), nil
 }
 
 // Query evaluates a textual query and returns its incident set incL(p).
@@ -301,12 +329,14 @@ func (e *Engine) Query(query string) (*IncidentSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.evaluator().Eval(p), nil
+	return e.evalSet(p)
 }
 
-// QueryPattern evaluates an already-parsed pattern.
+// QueryPattern evaluates an already-parsed pattern. When the engine has a
+// budget, a tripped limit surfaces as a nil set (use Query for the error).
 func (e *Engine) QueryPattern(p Pattern) *IncidentSet {
-	return e.evaluator().Eval(e.preparePattern(p))
+	set, _ := e.evalSet(e.preparePattern(p))
+	return set
 }
 
 // Exists reports whether any incident of the query exists, short-circuiting
@@ -510,7 +540,7 @@ func (e *Engine) QueryTraced(ctx context.Context, query string) (*IncidentSet, *
 
 	meter := eval.NewMeter(plan)
 	sp = tr.StartSpan("eval")
-	ev := eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Meter: meter})
+	ev := eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Meter: meter, Budget: e.budget})
 	var qs eval.QueryStats
 	set, err := ev.EvalParallelCtx(ctx, plan, 0, &qs)
 	if err != nil {
