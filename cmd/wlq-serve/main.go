@@ -95,6 +95,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			"per-query result-size budget in bytes (0 = unlimited)")
 		maxCost = fs.Float64("max-predicted-cost", 0,
 			"pre-flight ceiling on the plan's Lemma 1 cost estimate; costlier queries are rejected with 422 before evaluation (0 disables)")
+
+		shards = fs.Int("shards", 0,
+			"evaluate each query across this many isolated wid-range failure domains with per-shard retries and circuit breakers; a lost shard degrades the result instead of failing it (0 = off, negative = GOMAXPROCS)")
+		shardAttempts = fs.Int("shard-attempts", 0,
+			"evaluation attempts per shard before it is excluded from the result (0 = default 3)")
+		breakerThreshold = fs.Int("breaker-threshold", 0,
+			"consecutive shard failures that open its circuit breaker (0 = default 5)")
+		breakerCooldown = fs.Duration("breaker-cooldown", 0,
+			"how long an open shard breaker waits before admitting a probe (0 = default 30s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,6 +128,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		},
 		MaxPredictedCost: *maxCost,
 		Loader:           wlq.OpenLog,
+		Shards:           *shards,
+		ShardAttempts:    *shardAttempts,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}
 	if *naive {
 		cfg.Strategy = wlq.StrategyNaive

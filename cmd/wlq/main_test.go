@@ -312,3 +312,30 @@ func TestTraceFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsFlag(t *testing.T) {
+	// The sharded result matches the single-domain one exactly.
+	want := runOK(t, "-log", "clinic:40:7", "-q", "UpdateRefer -> GetReimburse")
+	got := runOK(t, "-log", "clinic:40:7", "-q", "UpdateRefer -> GetReimburse", "-shards", "4")
+	if !strings.HasPrefix(got, want[:strings.Index(want, "\n")]) {
+		t.Errorf("sharded incident count differs:\n%s\nvs\n%s", got, want)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !strings.Contains(got, line) {
+			t.Errorf("sharded output missing %q:\n%s", line, got)
+		}
+	}
+	if !strings.Contains(got, "complete: all 4 shard(s) evaluated") {
+		t.Errorf("missing completeness summary:\n%s", got)
+	}
+	// -shards -1 means GOMAXPROCS; still complete.
+	got = runOK(t, "-log", "fig3", "-q", "SeeDoctor", "-shards", "-1", "-partial")
+	if !strings.Contains(got, "complete:") {
+		t.Errorf("-shards -1 output:\n%s", got)
+	}
+	// -shards and -trace are mutually exclusive.
+	err := runErr(t, "-log", "fig3", "-q", "SeeDoctor", "-shards", "2", "-trace")
+	if !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("err = %v", err)
+	}
+}

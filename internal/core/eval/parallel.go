@@ -28,6 +28,16 @@ type QueryStats struct {
 	Instances int
 	// Incidents is the number of incidents produced across all instances.
 	Incidents int
+
+	// Sharded-execution accounting, filled by internal/shard when the query
+	// runs under the sharded executor (zero on the single-domain paths).
+	// Shards is the number of failure domains the log was partitioned into;
+	// ShardsFailed counts shards excluded from the result (failed after
+	// retries, or skipped by an open circuit breaker); ShardRetries counts
+	// re-attempts across all shards.
+	Shards       int
+	ShardsFailed int
+	ShardRetries int
 }
 
 // EvalParallel computes incL(p) using up to workers goroutines (0 means
@@ -136,16 +146,33 @@ func (e *Evaluator) EvalParallelCtx(ctx context.Context, p pattern.Node, workers
 	return setFromSorted(flat), nil
 }
 
+// EvalWIDsCtx evaluates p over exactly the given workflow instances — the
+// per-shard entry point of internal/shard — with the same cooperative
+// cancellation, budget enforcement (Options.Budget, a fresh budget state
+// per call) and panic isolation as EvalParallelCtx. Evaluation is serial:
+// a sharded execution gets its parallelism from concurrent shards, not
+// from workers within one. The returned set is exactly the restriction of
+// incL(p) to the given wids.
+func (e *Evaluator) EvalWIDsCtx(ctx context.Context, p pattern.Node, wids []uint64, stats *QueryStats) (*incident.Set, error) {
+	return e.evalWIDList(ctx, p, wids, stats, newBudgetState(e.opts.Budget))
+}
+
 // evalSerialCtx is the workers<=1 path of EvalParallelCtx: Eval with
 // per-instance cancellation checks, budget enforcement, panic isolation
 // and stats.
 func (e *Evaluator) evalSerialCtx(ctx context.Context, p pattern.Node, stats *QueryStats, bs *budgetState) (*incident.Set, error) {
+	return e.evalWIDList(ctx, p, e.ix.WIDs(), stats, bs)
+}
+
+// evalWIDList is the shared serial evaluation loop over an explicit wid
+// list, under the full isolation boundary (safeEvalWID + budget + ctx).
+func (e *Evaluator) evalWIDList(ctx context.Context, p pattern.Node, wids []uint64, stats *QueryStats, bs *budgetState) (*incident.Set, error) {
 	if stats != nil {
 		stats.Workers = 1
 	}
 	ctxDone := ctx.Done()
 	set := &incident.Set{}
-	for _, wid := range e.ix.WIDs() {
+	for _, wid := range wids {
 		select {
 		case <-ctxDone:
 			return nil, ctx.Err()

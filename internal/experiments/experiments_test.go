@@ -8,8 +8,8 @@ import (
 
 func TestInventory(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("experiments = %d, want 12 (E1..E12)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("experiments = %d, want 13 (E1..E13)", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -96,6 +96,29 @@ func TestIncidentTreeOutput(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("E2 output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestShardedEvalExperiment pins E13's two claims: sharding is answer-
+// preserving at every shard count, and under an injected fault the single
+// failure domain loses the query while eight domains degrade gracefully.
+func TestShardedEvalExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSharded(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"query lost",      // 1 failure domain: the fault takes everything
+		"partial (7/8",    // 8 domains: only the poisoned shard is excluded
+		"fault isolation", // the comparison table rendered
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "equal 0") {
+		t.Errorf("E13 reports a sharded/serial mismatch:\n%s", out)
 	}
 }
 

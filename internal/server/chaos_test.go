@@ -20,7 +20,7 @@ import (
 // (eval.SetEvalHook, resilience.SetClock, Config.Loader), asserting graceful
 // degradation — the right status code, a live health probe, and a clean
 // cache — rather than mere survival. Run with the race detector: the CI
-// chaos step is `go test -race -run 'Chaos|Fault' ./...`.
+// chaos step is `go test -race -run 'Chaos|Fault|Shard' ./...`.
 
 // chaosLog builds a log heavy enough to trip small budgets: each instance
 // interleaves n As and Bs, so "A -> B" performs ~n² comparisons per instance.

@@ -40,6 +40,20 @@ type metrics struct {
 	costRejected      atomic.Uint64
 	logReloads        atomic.Uint64
 	logReloadFailures atomic.Uint64
+	// coalescedReloads counts reload requests that joined an in-progress
+	// pass (single-flight) instead of starting their own.
+	coalescedReloads atomic.Uint64
+
+	// Sharded-execution counters (zero unless Config.Shards is set): queries
+	// run shard-by-shard, per-shard retry attempts, shards excluded after
+	// exhausting retries, shards skipped by an open circuit breaker, results
+	// returned incomplete, and workflow instances those results excluded.
+	shardedQueries atomic.Uint64
+	shardRetries   atomic.Uint64
+	shardsFailed   atomic.Uint64
+	shardsSkipped  atomic.Uint64
+	partialResults atomic.Uint64
+	widsExcluded   atomic.Uint64
 
 	// Per-operator totals, indexed by pattern.Op (1..4), folded in from
 	// each evaluated query's eval.Meter: the measured record-level
@@ -203,7 +217,15 @@ type metricsDoc struct {
 	CostRejected       uint64     `json:"cost_rejected"`
 	LogReloads         uint64     `json:"log_reloads"`
 	LogReloadFailures  uint64     `json:"log_reload_failures"`
+	CoalescedReloads   uint64     `json:"coalesced_reloads"`
 	LogsQuarantined    int        `json:"logs_quarantined"`
+	ShardedQueries     uint64     `json:"sharded_queries"`
+	ShardRetries       uint64     `json:"shard_retries"`
+	ShardsFailed       uint64     `json:"shards_failed"`
+	ShardsSkipped      uint64     `json:"shards_skipped"`
+	PartialResults     uint64     `json:"partial_results"`
+	WIDsExcluded       uint64     `json:"wids_excluded"`
+	BreakersOpen       int        `json:"breakers_open"`
 	AdmissionCapacity  int        `json:"admission_capacity"`
 	AdmissionInFlight  int        `json:"admission_in_flight"`
 	InflightQueries    int64      `json:"inflight_queries"`
@@ -219,8 +241,10 @@ type metricsDoc struct {
 }
 
 // snapshot assembles the metrics document. workersPerQuery is the resolved
-// per-query worker count; logs, cache and admission supply their own gauges.
-func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery int, cache *lru, adm *resilience.Admission) metricsDoc {
+// per-query worker count; breakersOpen is the live count of not-closed
+// per-shard circuit breakers; logs, cache and admission supply their own
+// gauges.
+func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission) metricsDoc {
 	count, p50, p95, p99, max := m.lat.percentiles()
 	capacity := runtime.GOMAXPROCS(0)
 	busy := m.busyWorkers.Load()
@@ -248,7 +272,15 @@ func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery int, cache *
 		CostRejected:        m.costRejected.Load(),
 		LogReloads:          m.logReloads.Load(),
 		LogReloadFailures:   m.logReloadFailures.Load(),
+		CoalescedReloads:    m.coalescedReloads.Load(),
 		LogsQuarantined:     quarantined,
+		ShardedQueries:      m.shardedQueries.Load(),
+		ShardRetries:        m.shardRetries.Load(),
+		ShardsFailed:        m.shardsFailed.Load(),
+		ShardsSkipped:       m.shardsSkipped.Load(),
+		PartialResults:      m.partialResults.Load(),
+		WIDsExcluded:        m.widsExcluded.Load(),
+		BreakersOpen:        breakersOpen,
 		AdmissionCapacity:   adm.Capacity(),
 		AdmissionInFlight:   adm.InFlight(),
 		InflightQueries:     m.inflight.Load(),

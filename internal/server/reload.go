@@ -25,15 +25,55 @@ type ReloadResult struct {
 	// Quarantined maps each failing log to its reload error; those logs
 	// keep serving their last-good snapshot.
 	Quarantined map[string]string `json:"quarantined,omitempty"`
+	// Coalesced is true when this caller did not run its own pass but
+	// joined one already in progress (single-flight) and shares its result.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// reloadCall is one in-progress reload pass; joiners block on done and then
+// share res/err.
+type reloadCall struct {
+	done chan struct{}
+	res  ReloadResult
+	err  error
 }
 
 // ReloadLogs re-reads every registered log. It returns an error only when
 // reloading is not configured (nil Config.Loader); per-log failures are
 // reported in the result and quarantine the log rather than failing the pass.
+//
+// Concurrent callers are coalesced (single-flight): a SIGHUP landing while a
+// POST /v1/reload pass is already loading joins that pass and shares its
+// result instead of re-reading every source a second time — reload is
+// idempotent, and doubling the I/O under a signal storm helps nobody.
 func (s *Server) ReloadLogs() (ReloadResult, error) {
 	if s.cfg.Loader == nil {
 		return ReloadResult{}, fmt.Errorf("server: hot reload not configured (no loader)")
 	}
+	s.reloadMu.Lock()
+	if c := s.reloadCall; c != nil {
+		s.reloadMu.Unlock()
+		<-c.done
+		s.metrics.coalescedReloads.Add(1)
+		res := c.res
+		res.Coalesced = true
+		return res, c.err
+	}
+	c := &reloadCall{done: make(chan struct{})}
+	s.reloadCall = c
+	s.reloadMu.Unlock()
+	c.res, c.err = s.reloadLogsLocked()
+	// Clear the slot before signalling: a caller arriving after close(done)
+	// must start a fresh pass, not join a finished one.
+	s.reloadMu.Lock()
+	s.reloadCall = nil
+	s.reloadMu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// reloadLogsLocked runs one actual reload pass (the single flight).
+func (s *Server) reloadLogsLocked() (ReloadResult, error) {
 
 	// Snapshot the roster under the read lock, then load and validate
 	// outside any lock: loading is file I/O plus index building and must
@@ -72,13 +112,18 @@ func (s *Server) ReloadLogs() (ReloadResult, error) {
 			}
 			continue
 		}
-		fresh[t.name] = &logEntry{
+		e := &logEntry{
 			name:   t.name,
 			source: t.source,
 			log:    l,
 			ix:     eval.NewIndex(l),
 			valid:  true,
 		}
+		// The shard executor is rebuilt with the index: the new partition
+		// matches the new log, and breaker history bound to stale wid ranges
+		// is discarded with them.
+		e.shardex = s.newShardExecutor(e.ix)
+		fresh[t.name] = e
 		res.Reloaded = append(res.Reloaded, t.name)
 	}
 	sort.Strings(res.Reloaded)

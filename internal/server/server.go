@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	mrand "math/rand"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -34,10 +35,12 @@ import (
 	"time"
 
 	"wlq/internal/core/eval"
+	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
 	"wlq/internal/core/rewrite"
 	"wlq/internal/obs"
 	"wlq/internal/resilience"
+	"wlq/internal/shard"
 	"wlq/internal/wlog"
 )
 
@@ -97,6 +100,24 @@ type Config struct {
 	// and SIGHUP in cmd/wlq-serve). Nil disables reloading. The CLI passes
 	// wlq.OpenLog.
 	Loader func(spec string) (*wlog.Log, error)
+	// Shards, when non-zero, evaluates every query shard-by-shard: the log
+	// is partitioned into this many wid-range failure domains (negative =
+	// GOMAXPROCS), each with its own budget slice, panic isolation, retry
+	// loop and circuit breaker. A shard lost to a persistent fault is
+	// excluded from the result instead of failing the query; the response
+	// reports coverage via its completeness object (partial results are 206
+	// when the request opts in with "partial": true, 502 otherwise).
+	// 0 disables sharding (the single-domain paths).
+	Shards int
+	// ShardAttempts caps evaluation attempts per shard per query
+	// (0 = shard.DefaultMaxAttempts).
+	ShardAttempts int
+	// BreakerThreshold opens a shard's circuit breaker after this many
+	// consecutive failures (0 = shard.DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is a tripped breaker's open → half-open delay
+	// (0 = shard.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -130,6 +151,10 @@ type logEntry struct {
 	valid  bool
 	reason string // validation error text when !valid
 	gen    uint64 // reload generation; part of the result-cache key
+	// shardex is the log's sharded executor (nil when Config.Shards is 0).
+	// It lives as long as the entry, so per-shard circuit-breaker history
+	// persists across queries; a reload replaces it together with the index.
+	shardex *shard.Executor
 }
 
 // Server is the query service. Safe for concurrent use; logs are loaded
@@ -143,6 +168,12 @@ type Server struct {
 	quarantine map[string]string // log name -> last reload error (entry kept at last-good)
 	cache      *lru
 	metrics    *metrics
+
+	// reloadMu guards reloadCall, the single-flight slot for ReloadLogs:
+	// concurrent reload requests (SIGHUP racing POST /v1/reload) join the
+	// in-progress pass instead of starting their own.
+	reloadMu   sync.Mutex
+	reloadCall *reloadCall
 }
 
 // New creates a Server with no logs loaded.
@@ -179,12 +210,45 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 		return fmt.Errorf("server: duplicate log name %q", name)
 	}
 	e := &logEntry{name: name, source: source, log: l, ix: eval.NewIndex(l), valid: true}
+	e.shardex = s.newShardExecutor(e.ix)
 	if err := l.Validate(); err != nil {
 		e.valid, e.reason = false, err.Error()
 	}
 	s.logs[name] = e
 	s.names = append(s.names, name)
 	return nil
+}
+
+// newShardExecutor builds a log's sharded executor from the server config,
+// or nil when sharded execution is disabled.
+func (s *Server) newShardExecutor(ix *eval.Index) *shard.Executor {
+	if s.cfg.Shards == 0 {
+		return nil
+	}
+	n := s.cfg.Shards
+	if n < 0 {
+		n = 0 // shard.Partition resolves 0 to GOMAXPROCS
+	}
+	return shard.NewExecutor(ix, shard.Config{
+		Shards:           n,
+		MaxAttempts:      s.cfg.ShardAttempts,
+		BreakerThreshold: s.cfg.BreakerThreshold,
+		BreakerCooldown:  s.cfg.BreakerCooldown,
+	})
+}
+
+// openBreakers sums the not-closed circuit breakers across every loaded
+// log's shard executor — the "poisoned shards" gauge at /metrics.
+func (s *Server) openBreakers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	open := 0
+	for _, e := range s.logs {
+		if e.shardex != nil {
+			open += e.shardex.OpenBreakers()
+		}
+	}
+	return open
 }
 
 // lookup resolves a log name; a single loaded log may be addressed with an
@@ -317,6 +381,10 @@ type errorDoc struct {
 	PredictedCost     float64       `json:"predicted_cost,omitempty"`
 	CostCeiling       float64       `json:"cost_ceiling,omitempty"`
 	CostTable         []obs.CostRow `json:"cost_table,omitempty"`
+	// Completeness accompanies a 502 strict-mode rejection of a partial
+	// result: what the result would have covered had the client opted into
+	// degraded mode with "partial": true.
+	Completeness *shard.Completeness `json:"completeness,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -361,6 +429,11 @@ type queryRequest struct {
 	// and the per-operator Lemma 1 cost table. Traced queries bypass the
 	// result cache (a cached result has no fresh evaluation to measure).
 	Trace bool `json:"trace,omitempty"`
+	// Partial opts into degraded mode on a sharded server: when shards are
+	// lost to faults, accept the surviving shards' incidents as a 206
+	// response with a completeness object instead of a 502. Ignored when
+	// the server does not shard (results are then always complete).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // incidentDoc is the wire form of one incident.
@@ -387,6 +460,12 @@ type queryResponse struct {
 	// Trace is present when the request set "trace": true — the span tree
 	// and per-operator cost table of this evaluation.
 	Trace *obs.QueryTrace `json:"trace,omitempty"`
+	// Partial is true when shards were lost and the result covers only the
+	// surviving wid ranges (HTTP 206; requires "partial": true in the
+	// request). Completeness is present on every sharded evaluation and
+	// says exactly which wid ranges the result covers.
+	Partial      bool                `json:"partial,omitempty"`
+	Completeness *shard.Completeness `json:"completeness,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -396,12 +475,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// 504 (clients can back off; goodput is preserved under overload).
 	if !s.admission.TryAcquire() {
 		s.metrics.queriesShed.Add(1)
-		retry := s.admission.RetryAfter()
-		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		retry := retryAfterSeconds(s.admission.RetryAfter())
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeJSON(w, http.StatusTooManyRequests, errorDoc{
 			Error: fmt.Sprintf("server saturated: %d queries in flight (limit %d)",
 				s.admission.InFlight(), s.admission.Capacity()),
-			RetryAfterSeconds: int(retry / time.Second),
+			RetryAfterSeconds: retry,
 		})
 		return
 	}
@@ -520,6 +599,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ce         *cacheEntry
 		cached     bool
 		queryTrace *obs.QueryTrace
+		comp       *shard.Completeness // non-nil iff the query ran sharded
 	)
 	if cacheable {
 		ce, cached = s.cache.get(cacheKey)
@@ -560,7 +640,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 
 		meter := eval.NewMeter(plan)
-		ev := eval.New(entry.ix, eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter, Budget: s.cfg.Budget})
+		opts := eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter, Budget: s.cfg.Budget}
 		workers := s.resolveWorkers(req.Workers, entry.ix)
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 		defer cancel()
@@ -570,9 +650,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 		sp = qtr.StartSpan("eval")
 		var qs eval.QueryStats
-		s.metrics.busyWorkers.Add(int64(workers))
-		set, err := ev.EvalParallelCtx(ctx, plan, workers, &qs)
-		s.metrics.busyWorkers.Add(int64(-workers))
+		var set *incident.Set
+		if entry.shardex != nil {
+			// Sharded execution: each shard is its own failure domain with a
+			// budget slice, retry loop and circuit breaker; a lost shard
+			// yields a partial result instead of a failed query.
+			s.metrics.shardedQueries.Add(1)
+			set, comp, err = entry.shardex.Execute(ctx, plan, opts, &qs)
+			s.metrics.shardRetries.Add(uint64(qs.ShardRetries))
+			if comp != nil {
+				s.metrics.shardsFailed.Add(uint64(comp.Failed))
+				s.metrics.shardsSkipped.Add(uint64(comp.Skipped))
+				s.metrics.widsExcluded.Add(uint64(comp.ExcludedWIDs))
+			}
+		} else {
+			ev := eval.New(entry.ix, opts)
+			s.metrics.busyWorkers.Add(int64(workers))
+			set, err = ev.EvalParallelCtx(ctx, plan, workers, &qs)
+			s.metrics.busyWorkers.Add(int64(-workers))
+		}
 		s.metrics.instancesEvaluated.Add(uint64(qs.Instances))
 		s.metrics.recordMeter(meter)
 		if err != nil {
@@ -635,8 +731,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				CostTable: obs.CostTable(plan, meter),
 			}
 		}
+		// Strict mode: an incomplete result the client did not opt into is a
+		// 502 (the upstream shards failed us), carrying the completeness
+		// object so the caller sees what degraded mode would have returned.
+		if comp != nil && !comp.Complete {
+			s.metrics.partialResults.Add(1)
+			if !req.Partial {
+				s.metrics.queryErrors.Add(1)
+				writeJSON(w, http.StatusBadGateway, errorDoc{
+					Error: fmt.Sprintf(
+						"partial result: %d of %d shards lost (%d wids excluded); set \"partial\": true to accept degraded results",
+						comp.Failed+comp.Skipped, comp.Shards, comp.ExcludedWIDs),
+					Completeness: comp,
+				})
+				return
+			}
+		}
 		ce = &cacheEntry{plan: plan, trace: trace, set: set}
-		if cacheable {
+		// A partial result is never cached: a later query must not be served
+		// an excluded wid range's absence as if it were evaluated truth, and
+		// the shards may well recover before the entry would age out.
+		if cacheable && (comp == nil || comp.Complete) {
 			s.cache.put(cacheKey, ce)
 		}
 	}
@@ -653,6 +768,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Exists:    ce.set.Len() > 0,
 		Trace:     queryTrace,
 	}
+	resp.Completeness = comp
+	resp.Partial = comp != nil && !comp.Complete
 	switch mode {
 	case "instances":
 		resp.Instances = ce.set.WIDs()
@@ -670,7 +787,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.metrics.incidentsReturned.Add(uint64(len(docs)))
 	}
 	resp.ElapsedUS = time.Since(started).Microseconds()
-	writeJSON(w, http.StatusOK, resp)
+	code := http.StatusOK
+	if resp.Partial {
+		// 206: a well-formed answer covering only part of the log, as the
+		// request's "partial": true accepted.
+		code = http.StatusPartialContent
+	}
+	writeJSON(w, code, resp)
+}
+
+// retryAfterSeconds converts an advisory retry delay to the whole-second
+// Retry-After value. The delay is rounded UP (a sub-second hint must not
+// truncate to "retry immediately", which under saturation synchronizes
+// every shed client into a retry stampede), floored at 1 second, and
+// spread with up to one second of jitter so a burst of simultaneous 429s
+// does not come back as a burst of simultaneous retries.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs + mrand.Intn(2)
 }
 
 // timeout resolves the effective per-request timeout: the configured bound,
@@ -870,5 +1007,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.cache, s.admission))
+		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission))
 }

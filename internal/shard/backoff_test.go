@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// The backoff schedule is pure arithmetic over (attempt, jitter draw), so
+// every property — exponential growth, the cap, jitter bounds — is asserted
+// exactly, with no sleeping and no sampling.
+
+func TestShardBackoffExponentialGrowth(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Hour, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,  // attempt 1
+		20 * time.Millisecond,  // attempt 2
+		40 * time.Millisecond,  // attempt 3
+		80 * time.Millisecond,  // attempt 4
+		160 * time.Millisecond, // attempt 5
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, 0.5); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestShardBackoffCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, Jitter: -1}
+	for attempt := 5; attempt <= 64; attempt++ {
+		if got := b.Delay(attempt, 0.5); got != 100*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want the %v cap", attempt, got, b.Max)
+		}
+	}
+	// Huge attempt numbers must not overflow past the cap.
+	if got := b.Delay(1<<20, 0.5); got != 100*time.Millisecond {
+		t.Fatalf("Delay(1<<20) = %v, want the cap", got)
+	}
+}
+
+func TestShardBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Hour, Factor: 2, Jitter: 0.2}
+	// u=0 is the lower edge (1-Jitter), u→1 the upper (1+Jitter); u=0.5 is
+	// the raw delay exactly.
+	if got := b.Delay(1, 0); got != 80*time.Millisecond {
+		t.Errorf("Delay(1, u=0) = %v, want 80ms", got)
+	}
+	if got := b.Delay(1, 0.5); got != 100*time.Millisecond {
+		t.Errorf("Delay(1, u=0.5) = %v, want 100ms", got)
+	}
+	if got := b.Delay(1, 0.999999); got >= 120*time.Millisecond || got < 100*time.Millisecond {
+		t.Errorf("Delay(1, u→1) = %v, want in [100ms, 120ms)", got)
+	}
+	// Bounds hold at every attempt, including at the cap.
+	for attempt := 1; attempt <= 10; attempt++ {
+		for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+			raw := b.Delay(attempt, 0.5)
+			got := b.Delay(attempt, u)
+			lo := time.Duration(float64(raw) * 0.8)
+			hi := time.Duration(float64(raw) * 1.2)
+			if got < lo || got > hi {
+				t.Fatalf("Delay(%d, %v) = %v outside [%v, %v]", attempt, u, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestShardBackoffDefaults(t *testing.T) {
+	var b Backoff
+	// Zero config resolves to the documented defaults: 10ms base, 2x
+	// growth, 1s cap, ±20% jitter.
+	if got := b.Delay(1, 0.5); got != DefaultBackoffBase {
+		t.Errorf("zero Backoff Delay(1) = %v, want %v", got, DefaultBackoffBase)
+	}
+	if got := b.Delay(100, 0.5); got != DefaultBackoffMax {
+		t.Errorf("zero Backoff Delay(100) = %v, want the %v cap", got, DefaultBackoffMax)
+	}
+	if got := b.Delay(1, 0); got != time.Duration(float64(DefaultBackoffBase)*0.8) {
+		t.Errorf("zero Backoff Delay(1, u=0) = %v, want base·0.8", got)
+	}
+	// Factor below 1 degrades to constant delay, never a shrinking one.
+	c := Backoff{Base: 50 * time.Millisecond, Factor: 0.1, Jitter: -1}
+	if got := c.Delay(5, 0.5); got != 50*time.Millisecond {
+		t.Errorf("Factor<1 Delay(5) = %v, want constant 50ms", got)
+	}
+	// Attempt < 1 is clamped to the first delay.
+	if got := b.Delay(0, 0.5); got != DefaultBackoffBase {
+		t.Errorf("Delay(0) = %v, want %v", got, DefaultBackoffBase)
+	}
+}

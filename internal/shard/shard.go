@@ -1,0 +1,165 @@
+// Package shard partitions a workflow log's instances into wid shards and
+// evaluates incident-pattern queries shard by shard, each shard in its own
+// failure domain.
+//
+// The decomposition is exact, not approximate: Definition 4 makes incident
+// semantics strictly per-instance — an incident's wid is a single workflow
+// id — so a log partitioned by wid evaluates with zero cross-shard joins
+// and the merged result is byte-identical to the unsharded evaluator's
+// (the same property MapReduce-style log analysis and partitioned-stream
+// recovery exploit). What sharding buys on top of parallelism is blast-
+// radius control: a panic, budget trip or pathological instance in one
+// slice of the log degrades that slice only, and the query still answers
+// from the surviving N−1 shards, with Completeness metadata naming exactly
+// which wid ranges are missing and why.
+//
+// The failure-domain machinery per shard:
+//
+//   - a budget slice split from the query budget (work dimensions divided
+//     across shards; wall time shared, since shards run concurrently);
+//   - panic isolation reusing the eval worker boundary, so one poisoned
+//     instance fails one shard, not the process;
+//   - a per-shard deadline, retry with capped exponential backoff and
+//     jitter for retryable faults, and a circuit breaker that stops
+//     retrying a persistently poisoned shard.
+//
+// Everything time-dependent rides the resilience clock seam and the
+// Config.Sleep/Config.Rand seams, so backoff and breaker transitions are
+// deterministically testable without sleeping.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Policy selects how wids are assigned to shards.
+type Policy int
+
+// Partitioning policies.
+const (
+	// PolicyRange assigns contiguous wid ranges to shards (the default).
+	// Range shards keep the global incident order: concatenating shard
+	// results in shard order is already canonical, and a failed shard
+	// excludes one describable wid interval.
+	PolicyRange Policy = iota
+	// PolicyHash assigns wids by hash, spreading hot instances across
+	// shards at the cost of interleaved ranges (the merged result is
+	// re-normalized, and an excluded "range" is a scattered set reported
+	// by its min/max envelope).
+	PolicyHash
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRange:
+		return "range"
+	case PolicyHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name as accepted by CLI flags.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "range":
+		return PolicyRange, nil
+	case "hash":
+		return PolicyHash, nil
+	default:
+		return 0, fmt.Errorf("unknown shard policy %q (want range or hash)", name)
+	}
+}
+
+// Shard is one partition of a log's workflow instances.
+type Shard struct {
+	// ID is the shard's index, 0-based.
+	ID int
+	// WIDs are the member instance ids, ascending.
+	WIDs []uint64
+	// MinWID and MaxWID bound the members. Under PolicyRange the shard
+	// owns the whole interval; under PolicyHash the interval is only an
+	// envelope around the scattered members.
+	MinWID, MaxWID uint64
+}
+
+// RangeString renders the shard's wid coverage for error causes and logs.
+func (s Shard) RangeString() string {
+	if len(s.WIDs) == 0 {
+		return "∅"
+	}
+	if s.MinWID == s.MaxWID {
+		return fmt.Sprintf("wid %d", s.MinWID)
+	}
+	return fmt.Sprintf("wids %d–%d", s.MinWID, s.MaxWID)
+}
+
+// hashWID is FNV-1a over the wid's little-endian bytes. Deliberately not
+// maphash: the partition must be stable across processes, so operators can
+// correlate a shard id (and its excluded wids) across restarts and replicas.
+func hashWID(wid uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= wid >> (8 * i) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// Partition splits wids into at most n shards under the policy; n <= 0
+// means GOMAXPROCS. Empty shards are dropped, so the result may have fewer
+// than n entries (never more); each returned shard's WIDs are ascending.
+// The input slice is not modified and must be ascending (eval.Index.WIDs
+// guarantees it).
+func Partition(wids []uint64, n int, policy Policy) []Shard {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(wids) {
+		n = len(wids)
+	}
+	if n == 0 {
+		return nil
+	}
+	buckets := make([][]uint64, n)
+	switch policy {
+	case PolicyHash:
+		for _, wid := range wids {
+			i := int(hashWID(wid) % uint64(n))
+			buckets[i] = append(buckets[i], wid)
+		}
+	default: // PolicyRange
+		chunk := (len(wids) + n - 1) / n
+		for i := 0; i < n; i++ {
+			lo := i * chunk
+			if lo >= len(wids) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(wids) {
+				hi = len(wids)
+			}
+			buckets[i] = wids[lo:hi:hi]
+		}
+	}
+	shards := make([]Shard, 0, n)
+	for _, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		shards = append(shards, Shard{
+			ID:     len(shards),
+			WIDs:   b,
+			MinWID: b[0],
+			MaxWID: b[len(b)-1],
+		})
+	}
+	return shards
+}
