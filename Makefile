@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples fuzz clean
+.PHONY: all build vet test test-race cover bench bench-report bench-smoke experiments examples fuzz clean
 
 all: build vet test
 
@@ -25,6 +25,21 @@ cover:
 # The testing.B series (one family per paper artifact; see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the checked-in BENCH_*.json run summaries (both backends, full
+# size) and print the comparison. Run on an otherwise idle machine.
+bench-report:
+	$(GO) run ./cmd/wlq-bench -suite -backend row -json BENCH_baseline.json
+	$(GO) run ./cmd/wlq-bench -suite -backend columnar -json BENCH_columnar.json
+	$(GO) run ./cmd/wlq-bench -compare BENCH_baseline.json,BENCH_columnar.json
+
+# Fast cross-backend answer check: run the suite on a small log for both
+# backends and fail if the columnar answer digests differ from the row
+# backend's. CI runs this on every push.
+bench-smoke:
+	$(GO) run ./cmd/wlq-bench -suite -quick -backend row -json /tmp/wlq-bench-row.json
+	$(GO) run ./cmd/wlq-bench -suite -quick -backend columnar -json /tmp/wlq-bench-columnar.json
+	$(GO) run ./cmd/wlq-bench -compare /tmp/wlq-bench-row.json,/tmp/wlq-bench-columnar.json
 
 # Regenerate the EXPERIMENTS.md tables (E1-E12).
 experiments:

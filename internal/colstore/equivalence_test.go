@@ -1,0 +1,155 @@
+package colstore
+
+import (
+	"context"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/core/rewrite"
+	"wlq/internal/gen"
+	"wlq/internal/shard"
+	"wlq/internal/wlog"
+)
+
+// The cross-backend equivalence suite: for every operator, with and without
+// the rewriter, sharded and unsharded, the columnar backend's incident sets
+// must be identical (same incidents, same normalized order) to the row
+// backend's. Run under -race in CI, this is the proof that -columnar is a
+// physical switch, never a semantic one.
+
+var equivalenceQueries = []string{
+	// Each operator alone, and each in composition.
+	"Act00 . Act01",
+	"Act00 -> Act02",
+	"Act01 | Act03",
+	"Act00 & Act01",
+	"(Act00 . Act01) -> Act02",
+	"(Act00 -> Act01) | (Act00 -> Act02)",
+	"(Act00 | Act01) & Act02",
+	"Act00 -> (Act01 & (Act02 | Act03))",
+	// Negation and absent activities.
+	"!Act00 . Act01",
+	"Act00 -> NoSuchActivity",
+	"!NoSuchActivity & Act01",
+	// START/END boundary records.
+	"START . Act00",
+	"Act00 -> END",
+}
+
+func equivalenceLogs(t *testing.T) map[string]*wlog.Log {
+	t.Helper()
+	return map[string]*wlog.Log{
+		"uniform": gen.MustRandomLog(gen.LogParams{
+			Instances: 40, MeanLength: 20, Seed: 11,
+		}),
+		"skewed": gen.MustRandomLog(gen.LogParams{
+			Instances: 25, MeanLength: 30, Skew: 1.3, CompleteFraction: 0.6, Seed: 23,
+		}),
+	}
+}
+
+func parse(t *testing.T, q string) pattern.Node {
+	t.Helper()
+	p, err := pattern.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return p
+}
+
+func TestCrossBackendEquivalence(t *testing.T) {
+	for logName, l := range equivalenceLogs(t) {
+		ix := eval.NewIndex(l)
+		cs := Build(l)
+		for _, q := range equivalenceQueries {
+			for _, rewritten := range []bool{false, true} {
+				name := logName + "/" + q
+				if rewritten {
+					name += "/rewritten"
+				}
+				t.Run(name, func(t *testing.T) {
+					rowP, colP := parse(t, q), parse(t, q)
+					if rewritten {
+						// Each backend feeds its own statistics to the
+						// optimizer — the plans must still agree because
+						// both backends report identical stats.
+						rowP, _ = rewrite.Optimize(rowP, ix)
+						colP, _ = rewrite.Optimize(colP, cs)
+					}
+					want := eval.New(ix, eval.Options{}).Eval(rowP)
+					got := eval.New(cs, eval.Options{}).Eval(colP)
+					if !want.Equal(got) {
+						t.Fatalf("backends disagree:\nrow:      %s\ncolumnar: %s", want, got)
+					}
+					if want.String() != got.String() {
+						t.Fatalf("normalized renderings differ:\nrow:      %s\ncolumnar: %s", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestCrossBackendEquivalenceSharded(t *testing.T) {
+	for logName, l := range equivalenceLogs(t) {
+		ix := eval.NewIndex(l)
+		cs := Build(l)
+		rowEx := shard.NewExecutor(ix, shard.Config{Shards: 4})
+		colEx := shard.NewExecutor(cs, shard.Config{Shards: 4})
+		for _, q := range equivalenceQueries {
+			t.Run(logName+"/"+q, func(t *testing.T) {
+				p := parse(t, q)
+				want, wc, err := rowEx.Execute(context.Background(), p, eval.Options{}, nil)
+				if err != nil {
+					t.Fatalf("row executor: %v", err)
+				}
+				got, gc, err := colEx.Execute(context.Background(), p, eval.Options{}, nil)
+				if err != nil {
+					t.Fatalf("columnar executor: %v", err)
+				}
+				if !wc.Complete || !gc.Complete {
+					t.Fatalf("incomplete results: row %v, columnar %v", wc.Complete, gc.Complete)
+				}
+				if !want.Equal(got) {
+					t.Fatalf("sharded backends disagree:\nrow:      %s\ncolumnar: %s", want, got)
+				}
+			})
+		}
+	}
+}
+
+func TestCrossBackendEquivalenceStrategies(t *testing.T) {
+	l := gen.MustRandomLog(gen.LogParams{Instances: 12, MeanLength: 15, Seed: 5})
+	ix := eval.NewIndex(l)
+	cs := Build(l)
+	for _, strat := range []eval.Strategy{eval.StrategyNaive, eval.StrategyMerge} {
+		for _, q := range equivalenceQueries {
+			t.Run(strat.String()+"/"+q, func(t *testing.T) {
+				p := parse(t, q)
+				want := eval.New(ix, eval.Options{Strategy: strat}).Eval(p)
+				got := eval.New(cs, eval.Options{Strategy: strat}).Eval(p)
+				if !want.Equal(got) {
+					t.Fatalf("strategy %v disagrees:\nrow:      %s\ncolumnar: %s", strat, want, got)
+				}
+			})
+		}
+	}
+}
+
+func TestCrossBackendCountAndExists(t *testing.T) {
+	l := gen.MustRandomLog(gen.LogParams{Instances: 20, MeanLength: 18, Skew: 0.8, Seed: 31})
+	ix := eval.NewIndex(l)
+	cs := Build(l)
+	for _, q := range equivalenceQueries {
+		p := parse(t, q)
+		rowEv := eval.New(ix, eval.Options{})
+		colEv := eval.New(cs, eval.Options{})
+		if rc, cc := rowEv.Count(p), colEv.Count(p); rc != cc {
+			t.Errorf("Count(%q): row %d, columnar %d", q, rc, cc)
+		}
+		if re, ce := rowEv.Exists(p), colEv.Exists(p); re != ce {
+			t.Errorf("Exists(%q): row %v, columnar %v", q, re, ce)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package colstore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/gen"
+	"wlq/internal/logio"
+	"wlq/internal/wlog"
+)
+
+func TestSymbolTableBasics(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Intern("A")
+	b := st.Intern("B")
+	if a == b {
+		t.Fatalf("distinct names interned to the same symbol %d", a)
+	}
+	if got := st.Intern("A"); got != a {
+		t.Errorf("re-intern of A = %d, want %d", got, a)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+	if st.Name(a) != "A" || st.Name(b) != "B" {
+		t.Errorf("Name round-trip failed: %q %q", st.Name(a), st.Name(b))
+	}
+	if _, ok := st.Resolve("C"); ok {
+		t.Error("Resolve of never-interned name reported ok")
+	}
+}
+
+func TestSymbolTableEmptyAndDuplicateNames(t *testing.T) {
+	st := NewSymbolTable()
+	empty := st.Intern("")
+	if got := st.Intern(""); got != empty {
+		t.Errorf("empty name interned twice to %d and %d", empty, got)
+	}
+	if st.Name(empty) != "" {
+		t.Errorf("Name(empty) = %q", st.Name(empty))
+	}
+	// Whitespace-variant names are distinct symbols: interning does not
+	// normalize — trimming is logio's job at ingest.
+	sp := st.Intern(" A ")
+	plain := st.Intern("A")
+	if sp == plain {
+		t.Error("\" A \" and \"A\" interned to the same symbol")
+	}
+}
+
+// mustLog builds a small valid log with duplicate-heavy activity usage.
+func mustLog(t *testing.T) *wlog.Log {
+	t.Helper()
+	var b wlog.Builder
+	w1 := b.Start()
+	w2 := b.Start()
+	for _, act := range []string{"A", "B", "A", "A", "C"} {
+		if err := b.Emit(w1, act, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, act := range []string{"B", "B", "A"} {
+		if err := b.Emit(w2, act, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.End(w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.End(w2); err != nil {
+		t.Fatal(err)
+	}
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestStoreMatchesRowIndex(t *testing.T) {
+	logs := map[string]*wlog.Log{
+		"handmade": mustLog(t),
+		"random": gen.MustRandomLog(gen.LogParams{
+			Instances: 37, MeanLength: 24, Skew: 1.1, CompleteFraction: 0.7, Seed: 7,
+		}),
+	}
+	for name, l := range logs {
+		t.Run(name, func(t *testing.T) {
+			ix := eval.NewIndex(l)
+			cs := Build(l)
+			assertSourcesAgree(t, ix, cs, l)
+		})
+	}
+}
+
+// assertSourcesAgree checks every Source method answer of cs against the
+// row index ix, including probes for absent wids and activities.
+func assertSourcesAgree(t *testing.T, ix *eval.Index, cs *Store, l *wlog.Log) {
+	t.Helper()
+	if !reflect.DeepEqual(ix.WIDs(), cs.WIDs()) {
+		t.Fatalf("WIDs: row %v, columnar %v", ix.WIDs(), cs.WIDs())
+	}
+	if ix.TotalRecords() != cs.TotalRecords() {
+		t.Errorf("TotalRecords: row %d, columnar %d", ix.TotalRecords(), cs.TotalRecords())
+	}
+	if !reflect.DeepEqual(ix.Activities(), cs.Activities()) {
+		t.Errorf("Activities: row %v, columnar %v", ix.Activities(), cs.Activities())
+	}
+	acts := append(ix.Activities(), "no-such-activity", "")
+	for _, act := range acts {
+		if rc, cc := ix.ActivityCount(act), cs.ActivityCount(act); rc != cc {
+			t.Errorf("ActivityCount(%q): row %d, columnar %d", act, rc, cc)
+		}
+	}
+	probeWIDs := append(append([]uint64{}, ix.WIDs()...), 0, 1<<40) // absent wids included
+	for _, wid := range probeWIDs {
+		if rl, cl := ix.InstanceLen(wid), cs.InstanceLen(wid); rl != cl {
+			t.Errorf("InstanceLen(%d): row %d, columnar %d", wid, rl, cl)
+		}
+		ri, ci := ix.Instance(wid), cs.Instance(wid)
+		if len(ri) != len(ci) {
+			t.Fatalf("Instance(%d): row %d records, columnar %d", wid, len(ri), len(ci))
+		}
+		for k := range ri {
+			if !ri[k].Equal(ci[k]) {
+				t.Errorf("Instance(%d)[%d]: row %v, columnar %v", wid, k, ri[k], ci[k])
+			}
+		}
+		for seq := uint64(0); seq <= uint64(len(ri))+2; seq++ {
+			rr, rok := ix.Record(wid, seq)
+			cr, cok := cs.Record(wid, seq)
+			if rok != cok || (rok && !rr.Equal(cr)) {
+				t.Errorf("Record(%d,%d): row (%v,%v), columnar (%v,%v)", wid, seq, rr, rok, cr, cok)
+			}
+		}
+		for _, act := range acts {
+			rs, css := ix.ActivitySeqs(wid, act), cs.ActivitySeqs(wid, act)
+			if len(rs) != len(css) || (len(rs) > 0 && !reflect.DeepEqual(rs, css)) {
+				t.Errorf("ActivitySeqs(%d,%q): row %v, columnar %v", wid, act, rs, css)
+			}
+		}
+	}
+}
+
+func TestSymbolicLookups(t *testing.T) {
+	cs := Build(mustLog(t))
+	sym, ok := cs.ResolveActivity("A")
+	if !ok {
+		t.Fatal("ResolveActivity(A) not found")
+	}
+	if got := cs.ActivitySeqsSym(1, sym); !reflect.DeepEqual(got, []uint64{2, 4, 5}) {
+		t.Errorf("ActivitySeqsSym(1, A) = %v, want [2 4 5]", got)
+	}
+	if got := cs.ActivitySeqsSym(999, sym); got != nil {
+		t.Errorf("ActivitySeqsSym on absent wid = %v, want nil", got)
+	}
+	if got := cs.ActivitySeqsSym(1, -1); got != nil {
+		t.Errorf("ActivitySeqsSym on negative symbol = %v, want nil", got)
+	}
+	if got := cs.ActivitySeqsSym(1, int32(cs.Symbols().Len())); got != nil {
+		t.Errorf("ActivitySeqsSym on out-of-range symbol = %v, want nil", got)
+	}
+	if _, ok := cs.ResolveActivity("Z"); ok {
+		t.Error("ResolveActivity of absent activity reported ok")
+	}
+}
+
+const storeCSV = `case,activity,when
+o-1,Pay,2017-01-02T10:00:00Z
+o-2,Pack,2017-01-02T09:00:00Z
+o-1,Ship,2017-01-03T08:00:00Z
+o-2,Ship,2017-01-02T11:00:00Z
+o-2,Pay,2017-01-04T12:00:00Z
+`
+
+const storeXES = `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <trace>
+    <string key="concept:name" value="o-1"/>
+    <event><string key="concept:name" value="Pay"/></event>
+    <event><string key="concept:name" value=" Ship "/></event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="o-2"/>
+    <event><string key="concept:name" value="Pack"/></event>
+    <event><string key="concept:name" value="Ship"/></event>
+  </trace>
+</log>
+`
+
+func TestStoreOverImportedLogs(t *testing.T) {
+	csvLog, err := logio.ImportCSV(strings.NewReader(storeCSV), logio.CSVOptions{TimeColumn: "when"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xesLog, err := logio.ImportXES(strings.NewReader(storeXES), logio.XESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, l := range map[string]*wlog.Log{"csv": csvLog, "xes": xesLog} {
+		t.Run(name, func(t *testing.T) {
+			assertSourcesAgree(t, eval.NewIndex(l), Build(l), l)
+		})
+	}
+	// The XES importer trims concept:name whitespace at ingest, so " Ship "
+	// and "Ship" share one symbol across both backends.
+	cs := Build(xesLog)
+	if got := cs.ActivityCount("Ship"); got != 2 {
+		t.Errorf("ActivityCount(Ship) over XES log = %d, want 2 (trimmed at ingest)", got)
+	}
+	if _, ok := cs.ResolveActivity(" Ship "); ok {
+		t.Error("untrimmed activity name survived XES ingest into the symbol table")
+	}
+}
+
+// TestSparsePostingLayout forces the binary-search layout (dense budget 0)
+// and requires answers identical to the dense layout and the row index.
+func TestSparsePostingLayout(t *testing.T) {
+	l := gen.MustRandomLog(gen.LogParams{Instances: 30, MeanLength: 25, Skew: 1.0, Seed: 13})
+	sparse := build(l, 0)
+	for i := range sparse.post {
+		if sparse.post[i].wids == nil {
+			t.Fatal("dense posting built despite a zero dense-cell budget")
+		}
+	}
+	assertSourcesAgree(t, eval.NewIndex(l), sparse, l)
+	dense := Build(l)
+	for _, wid := range dense.WIDs() {
+		for _, act := range dense.Activities() {
+			if !reflect.DeepEqual(dense.ActivitySeqs(wid, act), sparse.ActivitySeqs(wid, act)) {
+				t.Fatalf("layouts disagree on ActivitySeqs(%d, %q)", wid, act)
+			}
+		}
+	}
+}

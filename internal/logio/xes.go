@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"wlq/internal/wlog"
 )
@@ -83,7 +84,11 @@ func ImportXES(r io.Reader, opts XESOptions) (*wlog.Log, error) {
 			attrs := wlog.AttrMap{}
 			for _, a := range ev.Attrs {
 				if a.Key == conceptName {
-					activity = a.Value
+					// Trim surrounding whitespace so the activity name is
+					// identical no matter which importer produced it (CSV
+					// already trims) — the row and columnar backends intern
+					// by exact string and must never disagree on identity.
+					activity = strings.TrimSpace(a.Value)
 					continue
 				}
 				if a.Key == "" {

@@ -143,3 +143,25 @@ func TestImportXESBadTypedValueFallsBack(t *testing.T) {
 		t.Errorf("bad int fell back to %v", got)
 	}
 }
+
+func TestImportXESTrimsActivityWhitespace(t *testing.T) {
+	const padded = `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <trace>
+    <string key="concept:name" value="o-1"/>
+    <event><string key="concept:name" value="  Pay "/></event>
+    <event><string key="concept:name" value="Pay"/></event>
+  </trace>
+</log>
+`
+	l, err := ImportXES(strings.NewReader(padded), XESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := l.Instance(1)
+	for _, r := range inst[1:] {
+		if r.Activity != "Pay" {
+			t.Errorf("activity = %q, want %q (whitespace trimmed at ingest)", r.Activity, "Pay")
+		}
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-
-	"wlq/internal/core/eval"
 )
 
 // Hot reload with quarantine. ReloadLogs re-reads every registered log from
@@ -116,10 +114,10 @@ func (s *Server) reloadLogsLocked() (ReloadResult, error) {
 			name:   t.name,
 			source: t.source,
 			log:    l,
-			ix:     eval.NewIndex(l),
+			ix:     s.newBackend(l),
 			valid:  true,
 		}
-		// The shard executor is rebuilt with the index: the new partition
+		// The shard executor is rebuilt with the backend: the new partition
 		// matches the new log, and breaker history bound to stale wid ranges
 		// is discarded with them.
 		e.shardex = s.newShardExecutor(e.ix)

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"wlq/internal/colstore"
 	"wlq/internal/core/eval"
 	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
@@ -118,6 +119,11 @@ type Config struct {
 	// BreakerCooldown is a tripped breaker's open → half-open delay
 	// (0 = shard.DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// Columnar, when true, builds every loaded (and reloaded) log's
+	// backend as the columnar internal/colstore store instead of the row
+	// index: interned activity symbols and per-activity posting lists.
+	// Answers are identical on either backend; see docs/STORAGE.md.
+	Columnar bool
 }
 
 // withDefaults resolves the zero values.
@@ -140,14 +146,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// logEntry is one loaded (generation of a) log with its prebuilt index. An
-// entry is immutable: hot reload replaces the pointer wholesale, so in-flight
+// logEntry is one loaded (generation of a) log with its prebuilt backend
+// (row index or columnar store, per Config.Columnar). An entry is
+// immutable: hot reload replaces the pointer wholesale, so in-flight
 // queries keep the consistent snapshot they resolved at lookup time.
 type logEntry struct {
 	name   string
 	source string
 	log    *wlog.Log
-	ix     *eval.Index
+	ix     eval.Source
 	valid  bool
 	reason string // validation error text when !valid
 	gen    uint64 // reload generation; part of the result-cache key
@@ -209,7 +216,7 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 	if _, dup := s.logs[name]; dup {
 		return fmt.Errorf("server: duplicate log name %q", name)
 	}
-	e := &logEntry{name: name, source: source, log: l, ix: eval.NewIndex(l), valid: true}
+	e := &logEntry{name: name, source: source, log: l, ix: s.newBackend(l), valid: true}
 	e.shardex = s.newShardExecutor(e.ix)
 	if err := l.Validate(); err != nil {
 		e.valid, e.reason = false, err.Error()
@@ -219,9 +226,17 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 	return nil
 }
 
+// newBackend builds the configured storage backend for a log.
+func (s *Server) newBackend(l *wlog.Log) eval.Source {
+	if s.cfg.Columnar {
+		return colstore.Build(l)
+	}
+	return eval.NewIndex(l)
+}
+
 // newShardExecutor builds a log's sharded executor from the server config,
 // or nil when sharded execution is disabled.
-func (s *Server) newShardExecutor(ix *eval.Index) *shard.Executor {
+func (s *Server) newShardExecutor(ix eval.Source) *shard.Executor {
 	if s.cfg.Shards == 0 {
 		return nil
 	}
@@ -825,7 +840,7 @@ func (s *Server) timeout(requestMS int) time.Duration {
 // resolveWorkers mirrors eval's worker resolution so the busy-worker gauge
 // matches what EvalParallelCtx actually spawns: the configured (or lower
 // requested) count, capped by the instance count.
-func (s *Server) resolveWorkers(requested int, ix *eval.Index) int {
+func (s *Server) resolveWorkers(requested int, ix eval.Source) int {
 	w := s.cfg.Workers
 	if requested > 0 && requested < w {
 		w = requested

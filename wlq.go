@@ -40,6 +40,7 @@ import (
 
 	"wlq/internal/analytics"
 	"wlq/internal/clinic"
+	"wlq/internal/colstore"
 	"wlq/internal/core/eval"
 	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
@@ -247,11 +248,12 @@ func ClinicLogTimed(instances int, seed int64) (*Log, error) {
 // concurrent use: all state is immutable after construction.
 type Engine struct {
 	log      *Log
-	ix       *eval.Index
+	src      eval.Source
 	strategy Strategy
 	optimize bool
 	limit    int
 	budget   Budget
+	columnar bool
 }
 
 // Option configures an Engine.
@@ -282,16 +284,31 @@ func WithBudget(b Budget) Option {
 	return func(e *Engine) { e.budget = b }
 }
 
-// NewEngine indexes the log and returns a query engine.
+// WithColumnar selects the columnar storage backend (internal/colstore):
+// interned activity symbols and per-activity posting lists instead of the
+// row-oriented per-instance maps. Answers are identical on either backend
+// (enforced by the cross-backend equivalence suite); the trade-off is
+// purely physical — see docs/STORAGE.md.
+func WithColumnar() Option {
+	return func(e *Engine) { e.columnar = true }
+}
+
+// NewEngine indexes the log and returns a query engine. The storage
+// backend is built after the options are applied, so WithColumnar controls
+// which representation is constructed.
 func NewEngine(l *Log, opts ...Option) *Engine {
 	e := &Engine{
 		log:      l,
-		ix:       eval.NewIndex(l),
 		strategy: StrategyMerge,
 		optimize: true,
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.columnar {
+		e.src = colstore.Build(l)
+	} else {
+		e.src = eval.NewIndex(l)
 	}
 	return e
 }
@@ -310,13 +327,13 @@ func (e *Engine) prepare(query string) (Pattern, error) {
 
 func (e *Engine) preparePattern(p Pattern) Pattern {
 	if e.optimize {
-		p, _ = rewrite.Optimize(p, e.ix)
+		p, _ = rewrite.Optimize(p, e.src)
 	}
 	return p
 }
 
 func (e *Engine) evaluator() *eval.Evaluator {
-	return eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Budget: e.budget})
+	return eval.New(e.src, eval.Options{Strategy: e.strategy, Limit: e.limit, Budget: e.budget})
 }
 
 // evalSet evaluates a prepared plan, routing through the budget-enforcing
@@ -362,7 +379,7 @@ func (e *Engine) QuerySharded(ctx context.Context, query string, shards int) (*I
 	if err != nil {
 		return nil, nil, err
 	}
-	x := shard.NewExecutor(e.ix, shard.Config{Shards: shards})
+	x := shard.NewExecutor(e.src, shard.Config{Shards: shards})
 	return x.Execute(ctx, p, eval.Options{
 		Strategy: e.strategy, Limit: e.limit, Budget: e.budget,
 	}, nil)
@@ -395,7 +412,7 @@ func (e *Engine) GroupByAttr(query, attr string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analytics.GroupBy(set, analytics.ByAttr(e.ix, attr)), nil
+	return analytics.GroupBy(set, analytics.ByAttr(e.src, attr)), nil
 }
 
 // GroupByInstanceAttr is GroupByAttr but draws the key from anywhere in the
@@ -406,7 +423,7 @@ func (e *Engine) GroupByInstanceAttr(query, attr string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analytics.GroupBy(set, analytics.ByInstanceAttr(e.ix, attr)), nil
+	return analytics.GroupBy(set, analytics.ByInstanceAttr(e.src, attr)), nil
 }
 
 // InstancesMatching returns the ids of workflow instances with at least one
@@ -457,7 +474,7 @@ func (e *Engine) Durations(query string) (DurationStats, error) {
 	if err != nil {
 		return DurationStats{}, err
 	}
-	return analytics.Durations(e.ix, set), nil
+	return analytics.Durations(e.src, set), nil
 }
 
 // DistinctInstances evaluates the query and counts the workflow instances
@@ -472,7 +489,7 @@ func (e *Engine) DistinctInstances(query string) (int, error) {
 
 // IncidentRecords materializes an incident back into its log records.
 func (e *Engine) IncidentRecords(inc Incident) []Record {
-	return analytics.Records(e.ix, inc)
+	return analytics.Records(e.src, inc)
 }
 
 // AtomBinding explains one atom of a matched pattern: which record (by
@@ -496,7 +513,7 @@ func (e *Engine) BindIncident(query string, inc Incident) ([]AtomBinding, error)
 	if err != nil {
 		return nil, err
 	}
-	bindings, ok := eval.New(e.ix, eval.Options{}).Bindings(p, inc)
+	bindings, ok := eval.New(e.src, eval.Options{}).Bindings(p, inc)
 	if !ok {
 		return nil, fmt.Errorf("wlq: %v is not an incident of %q", inc, query)
 	}
@@ -562,14 +579,14 @@ func (e *Engine) QueryTraced(ctx context.Context, query string) (*IncidentSet, *
 	if e.optimize {
 		sp = tr.StartSpan("rewrite")
 		var rt rewrite.Trace
-		plan, rt = rewrite.Explain(p, e.ix)
+		plan, rt = rewrite.Explain(p, e.src)
 		obs.RewriteSpans(sp, rt)
 		sp.End()
 	}
 
 	meter := eval.NewMeter(plan)
 	sp = tr.StartSpan("eval")
-	ev := eval.New(e.ix, eval.Options{Strategy: e.strategy, Limit: e.limit, Meter: meter, Budget: e.budget})
+	ev := eval.New(e.src, eval.Options{Strategy: e.strategy, Limit: e.limit, Meter: meter, Budget: e.budget})
 	var qs eval.QueryStats
 	set, err := ev.EvalParallelCtx(ctx, plan, 0, &qs)
 	if err != nil {
@@ -605,13 +622,13 @@ func (e *Engine) Explain(query string) (string, error) {
 	out += "paper form: " + pattern.Pretty(p) + "\n"
 	out += "incident tree:\n" + pattern.TreeString(p)
 	if e.optimize {
-		opt, ex := rewrite.Optimize(p, e.ix)
+		opt, ex := rewrite.Optimize(p, e.src)
 		if !pattern.Equal(p, opt) {
 			out += "optimized: " + opt.String() + "\n"
 		}
 		out += "plan:      " + ex.String() + "\n"
 	} else {
-		est := rewrite.NewEstimator(e.ix)
+		est := rewrite.NewEstimator(e.src)
 		out += fmt.Sprintf("plan:      estimated cost %.4g (optimizer off)\n", est.Cost(p))
 	}
 	return out, nil
