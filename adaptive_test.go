@@ -1,0 +1,163 @@
+package wlq_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wlq"
+	"wlq/internal/benchkit"
+	"wlq/internal/wlog"
+)
+
+// skewedLog builds a log whose measured sequential selectivity contradicts
+// the Theorem 5 constant: every instance emits all its A records before all
+// its B records, so each of the 16 per-instance (A,B) pairs satisfies A ≺ B
+// and the observed selectivity is 1.0 — four times the assumed 0.25. The
+// per-activity counts (A:4, B:4, E:3, F:5 per instance) are chosen so the
+// estimated cardinality of (A -> B) falls between E's and F's under the
+// model constant but above both under the measured value, which reorders
+// the ⊕ chain.
+func skewedLog(t *testing.T) *wlq.Log {
+	t.Helper()
+	var b wlog.Builder
+	for i := 0; i < 60; i++ {
+		wid := b.Start()
+		for _, step := range []struct {
+			activity string
+			n        int
+		}{{"A", 4}, {"B", 4}, {"E", 3}, {"F", 5}} {
+			for j := 0; j < step.n; j++ {
+				if err := b.Emit(wid, step.activity, nil, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := b.End(wid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestAdaptivePlanFlipEndToEnd is the closed-loop acceptance test: a warmup
+// query feeds the Meter's measured selectivities into the statistics
+// registry, the next query is planned differently than under the constant
+// model, the answers stay digest-equal, and the trace's cost table cites the
+// measured selectivity.
+func TestAdaptivePlanFlipEndToEnd(t *testing.T) {
+	l := skewedLog(t)
+	reg := wlq.NewStatsRegistry()
+	adaptive := wlq.NewEngine(l, wlq.WithStats(reg))
+
+	// Warmup: one plain sequential query is enough evidence (60 instances
+	// x 16 pairs each) to cross the registry's threshold.
+	if _, err := adaptive.Query("A -> B"); err != nil {
+		t.Fatal(err)
+	}
+	sel := reg.Selectivities()
+	if !sel.Measured() {
+		t.Fatalf("warmup left registry unmeasured: %+v", sel)
+	}
+	if sel.Sequential < 0.99 {
+		t.Fatalf("measured sequential selectivity = %g, want ~1.0 (all A before all B)", sel.Sequential)
+	}
+
+	const query = "E & (A -> B) & F"
+	static := wlq.NewEngine(l)
+	ctx := context.Background()
+	staticSet, staticTrace, err := static.QueryTraced(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveSet, adaptiveTrace, err := adaptive.QueryTraced(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantStatic := wlq.MustParsePattern("(E & (A -> B)) & F").String()
+	wantAdaptive := wlq.MustParsePattern("(E & F) & (A -> B)").String()
+	if staticTrace.Plan != wantStatic {
+		t.Errorf("static plan = %q, want %q", staticTrace.Plan, wantStatic)
+	}
+	if adaptiveTrace.Plan != wantAdaptive {
+		t.Errorf("adaptive plan = %q, want %q", adaptiveTrace.Plan, wantAdaptive)
+	}
+	if staticTrace.Plan == adaptiveTrace.Plan {
+		t.Fatal("measured selectivities did not change the plan")
+	}
+
+	// Different plans, same answers: the reorder is Theorem 2-3 sound.
+	if ds, da := benchkit.Digest(staticSet.String()), benchkit.Digest(adaptiveSet.String()); ds != da {
+		t.Fatalf("answer digests diverged: static %s, adaptive %s", ds, da)
+	}
+
+	// The adaptive cost table must attribute the sequential node's
+	// selectivity to the registry, the static one to the model constant.
+	var found bool
+	for _, row := range adaptiveTrace.CostTable {
+		if row.Op == "sequential" {
+			found = true
+			if row.SelectivitySource != "measured" {
+				t.Errorf("adaptive sequential row source = %q, want measured", row.SelectivitySource)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no sequential row in adaptive cost table")
+	}
+	for _, row := range staticTrace.CostTable {
+		if row.Op == "sequential" && row.SelectivitySource != "assumed" {
+			t.Errorf("static sequential row source = %q, want assumed", row.SelectivitySource)
+		}
+	}
+
+	// Explain on the adaptive engine reports the measured model.
+	explain, err := adaptive.Explain(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "cost model: adaptive (measured=true") ||
+		!strings.Contains(explain, "sequential=1 measured") {
+		t.Errorf("Explain does not cite measured selectivities:\n%s", explain)
+	}
+	staticExplain, err := static.Explain(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(staticExplain, "cost model: adaptive") {
+		t.Errorf("static Explain reports an adaptive cost model:\n%s", staticExplain)
+	}
+}
+
+// TestAdaptiveStatsFileRoundtrip checks the persistence path: a warmed
+// registry saved to disk plans adaptively in a fresh engine with no warmup.
+func TestAdaptiveStatsFileRoundtrip(t *testing.T) {
+	l := skewedLog(t)
+	warm := wlq.NewStatsRegistry()
+	if _, err := wlq.NewEngine(l, wlq.WithStats(warm)).Query("A -> B"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "skewed.stats.json")
+	if err := wlq.SaveStats(warm, path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := wlq.LoadStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := wlq.NewEngine(l, wlq.WithStats(loaded))
+	_, tr, err := e.QueryTraced(context.Background(), "E & (A -> B) & F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wlq.MustParsePattern("(E & F) & (A -> B)").String(); tr.Plan != want {
+		t.Fatalf("plan from reloaded stats = %q, want %q", tr.Plan, want)
+	}
+}

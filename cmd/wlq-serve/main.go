@@ -14,10 +14,11 @@
 // A bare spec is named after its basename ("referrals" for
 // /data/referrals.jsonl).
 //
-// Endpoints: POST /v1/query, GET /v1/explain, GET /v1/logs, GET /metrics
-// (JSON, or Prometheus text with ?format=prometheus), GET /healthz,
-// GET /readyz and GET /debug/pprof/*. See docs/OPERATIONS.md for the full
-// reference and docs/OBSERVABILITY.md for tracing and metrics.
+// Endpoints: POST /v1/query, GET /v1/explain, GET /v1/logs, GET /v1/queries
+// (the query flight recorder; /v1/queries/{id} for one full capture),
+// GET /metrics (JSON, or Prometheus text with ?format=prometheus),
+// GET /healthz, GET /readyz and GET /debug/pprof/*. See docs/OPERATIONS.md
+// for the full reference and docs/OBSERVABILITY.md for tracing and metrics.
 //
 // The service logs one structured line per request (slog, text by default,
 // JSON with -log-json) and warns about queries slower than -slow-query.
@@ -81,8 +82,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		naive    = fs.Bool("naive", false, "default to the paper's verbatim Algorithm 1 joins")
 		columnar = fs.Bool("columnar", false,
 			"build every loaded log's backend as the columnar store (interned activities, posting lists)")
-		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
-		slow    = fs.Duration("slow-query", 500*time.Millisecond, "warn about queries slower than this (0 disables)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		slow       = fs.Duration("slow-query", 500*time.Millisecond, "warn about queries slower than this (0 disables)")
+		flightSize = fs.Int("flight-recorder-size", server.DefaultFlightRecorderSize,
+			"query flight recorder capacity per ring (recent + notable); 0 or negative disables GET /v1/queries")
+		adaptive = fs.Bool("adaptive", false,
+			"rank plans with measured selectivities aggregated from successful queries (persisted per log as <log>.stats.json)")
+		statsFile = fs.String("stats-file", "",
+			"with -adaptive and exactly one -log: override the selectivity statistics snapshot path")
 		pprofOn = fs.Bool("pprof", true, "expose the GET /debug/pprof/* profiling handlers")
 		logJSON = fs.Bool("log-json", false, "emit request logs as JSON instead of text")
 		noLog   = fs.Bool("no-request-log", false, "disable structured request logging")
@@ -114,6 +121,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fs.Usage()
 		return errors.New("missing -log (repeat it to serve several logs)")
 	}
+	if *statsFile != "" {
+		if !*adaptive {
+			return errors.New("-stats-file requires -adaptive")
+		}
+		if len(logs) != 1 {
+			return errors.New("-stats-file requires exactly one -log (per-log defaults apply otherwise)")
+		}
+	}
 
 	cfg := server.Config{
 		Workers:      *workers,
@@ -135,6 +150,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Columnar:         *columnar,
+		Adaptive:         *adaptive,
+		StatsFile:        *statsFile,
+	}
+	if *flightSize > 0 {
+		cfg.FlightRecorderSize = *flightSize
+	} else {
+		cfg.FlightRecorderSize = -1 // disable
 	}
 	if *naive {
 		cfg.Strategy = wlq.StrategyNaive

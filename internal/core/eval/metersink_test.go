@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"testing"
+
+	"wlq/internal/core/pattern"
+)
+
+// captureSink records the snapshots flushed into it.
+type captureSink struct {
+	flushes [][]NodeStats
+}
+
+func (s *captureSink) ObserveMeter(stats []NodeStats) {
+	s.flushes = append(s.flushes, stats)
+}
+
+// TestMeterPairsIsSumOfProducts pins the Pairs counter unit: Σ n1·n2 per
+// instance evaluation, not the product of the summed operand sizes — two
+// instances of 2×2 joins must report 8 pairs, not (2+2)·(2+2) = 16.
+func TestMeterPairsIsSumOfProducts(t *testing.T) {
+	l := buildLog(t,
+		[]string{"A", "A", "B", "B"},
+		[]string{"A", "A", "B", "B"},
+	)
+	ix := NewIndex(l)
+	p := pattern.MustParse("A -> B")
+	m := NewMeter(p)
+	New(ix, Options{Strategy: StrategyNaive, Meter: m}).Eval(p)
+	for _, st := range m.Snapshot() {
+		if st.Atom {
+			continue
+		}
+		if st.Pairs != 8 {
+			t.Fatalf("Pairs = %d, want 8 (2 instances x 2x2)", st.Pairs)
+		}
+		if prod := st.LeftInputs * st.RightInputs; st.Pairs >= prod && prod != st.Pairs {
+			t.Fatalf("Pairs %d not below product of sums %d", st.Pairs, prod)
+		}
+	}
+}
+
+func TestMeterFlush(t *testing.T) {
+	l := buildLog(t, []string{"A", "B"})
+	ix := NewIndex(l)
+	p := pattern.MustParse("A -> B")
+	m := NewMeter(p)
+	New(ix, Options{Meter: m}).Eval(p)
+
+	sink := &captureSink{}
+	m.Flush(sink)
+	if len(sink.flushes) != 1 {
+		t.Fatalf("Flush delivered %d snapshots, want 1", len(sink.flushes))
+	}
+	if len(sink.flushes[0]) != len(m.Snapshot()) {
+		t.Fatalf("flushed %d node stats, want %d", len(sink.flushes[0]), len(m.Snapshot()))
+	}
+}
+
+func TestMeterFlushNilSafety(t *testing.T) {
+	var m *Meter
+	m.Flush(&captureSink{}) // nil meter: no-op
+	real := NewMeter(pattern.MustParse("A"))
+	real.Flush(nil) // nil sink: no-op
+}

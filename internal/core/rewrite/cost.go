@@ -48,16 +48,30 @@ type Estimate struct {
 type Estimator struct {
 	stats Stats
 	inst  float64 // number of instances, ≥ 1
+	sel   Selectivities
 }
 
-// NewEstimator builds an estimator; stats may not be nil.
+// NewEstimator builds an estimator using the model's assumed selectivity
+// constants; stats may not be nil.
 func NewEstimator(stats Stats) *Estimator {
+	return NewEstimatorWith(stats, ModelSelectivities())
+}
+
+// NewEstimatorWith builds an estimator with explicit selectivities — the
+// seam through which measured per-log statistics (internal/stats) replace
+// the assumed constants. Zero-valued selectivity fields fall back to the
+// model constants, so a partially-measured Selectivities is safe.
+func NewEstimatorWith(stats Stats, sel Selectivities) *Estimator {
 	inst := float64(len(stats.WIDs()))
 	if inst < 1 {
 		inst = 1
 	}
-	return &Estimator{stats: stats, inst: inst}
+	return &Estimator{stats: stats, inst: inst, sel: sel.withDefaults()}
 }
+
+// Selectivities returns the (defaulted) selectivities the estimator ranks
+// plans with.
+func (e *Estimator) Selectivities() Selectivities { return e.sel }
 
 // Estimate returns the estimate for a pattern.
 func (e *Estimator) Estimate(p pattern.Node) Estimate {
@@ -69,7 +83,7 @@ func (e *Estimator) Estimate(p pattern.Node) Estimate {
 		} else {
 			matches = float64(e.stats.ActivityCount(p.Activity))
 		}
-		matches *= math.Pow(guardSelectivity, float64(len(p.Guards)))
+		matches *= math.Pow(e.sel.Guard, float64(len(p.Guards)))
 		perInst := matches / e.inst
 		return Estimate{
 			Card:  perInst,
@@ -91,8 +105,9 @@ func (e *Estimator) Estimate(p pattern.Node) Estimate {
 //	⊗    : join cost n1·n2·min(k1,k2)
 //	⊕    : join cost n1·n2·(k1+k2)
 //
-// Output cardinalities use the package's selectivity constants; ⊗ outputs
-// at most n1+n2 (the union), the others at most n1·n2.
+// Output cardinalities use the estimator's selectivities (assumed constants
+// or measured values); ⊗ outputs at most n1+n2 (the union), the others at
+// most n1·n2.
 func (e *Estimator) Combine(op pattern.Op, l, r Estimate) Estimate {
 	n1, n2 := l.Card, r.Card
 	k1, k2 := float64(l.Atoms), float64(r.Atoms)
@@ -100,16 +115,16 @@ func (e *Estimator) Combine(op pattern.Op, l, r Estimate) Estimate {
 	switch op {
 	case pattern.OpConsecutive:
 		join = n1 * n2
-		card = consecutiveSelectivity * n1 * n2
+		card = e.sel.Consecutive * n1 * n2
 	case pattern.OpSequential:
 		join = n1 * n2
-		card = sequentialSelectivity * n1 * n2
+		card = e.sel.Sequential * n1 * n2
 	case pattern.OpChoice:
 		join = n1 * n2 * math.Min(k1, k2)
 		card = n1 + n2
 	case pattern.OpParallel:
 		join = n1 * n2 * (k1 + k2)
-		card = parallelSelectivity * n1 * n2
+		card = e.sel.Parallel * n1 * n2
 	}
 	return Estimate{
 		Card:  card,

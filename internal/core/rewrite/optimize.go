@@ -56,7 +56,15 @@ func (ex Explanation) String() string {
 // The result always satisfies incL(Optimize(p)) = incL(p). Optimize never
 // returns a pattern costlier than its input.
 func Optimize(p pattern.Node, stats Stats) (pattern.Node, Explanation) {
-	est := NewEstimator(stats)
+	return OptimizeWith(p, stats, ModelSelectivities())
+}
+
+// OptimizeWith is Optimize with explicit selectivities: every cost the
+// passes compare is estimated with sel instead of the model constants, so
+// measured statistics can change which bracketing and operand order win.
+// The rewrite laws applied are identical — only the ranking differs.
+func OptimizeWith(p pattern.Node, stats Stats, sel Selectivities) (pattern.Node, Explanation) {
+	est := NewEstimatorWith(stats, sel)
 	ex := Explanation{Before: est.Cost(p)}
 	out := pattern.Clone(p)
 

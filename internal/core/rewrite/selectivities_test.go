@@ -1,0 +1,134 @@
+package rewrite
+
+import (
+	"testing"
+
+	"wlq/internal/core/pattern"
+)
+
+func TestWithDefaultsFillsZeroValues(t *testing.T) {
+	got := Selectivities{Sequential: 0.9, SequentialSource: SelectivityMeasured}.withDefaults()
+	m := ModelSelectivities()
+	if got.Sequential != 0.9 || got.SequentialSource != SelectivityMeasured {
+		t.Fatalf("measured field overwritten: %+v", got)
+	}
+	if got.Guard != m.Guard || got.Consecutive != m.Consecutive || got.Parallel != m.Parallel {
+		t.Fatalf("zero fields not defaulted: %+v", got)
+	}
+	if got.GuardSource != SelectivityAssumed || got.ConsecutiveSource != SelectivityAssumed ||
+		got.ParallelSource != SelectivityAssumed {
+		t.Fatalf("defaulted fields not tagged assumed: %+v", got)
+	}
+}
+
+func TestForOp(t *testing.T) {
+	sel := ModelSelectivities()
+	sel.Sequential, sel.SequentialSource = 0.8, SelectivityMeasured
+	if v, src := sel.ForOp(pattern.OpSequential); v != 0.8 || src != SelectivityMeasured {
+		t.Fatalf("sequential: %v/%s", v, src)
+	}
+	if v, src := sel.ForOp(pattern.OpConsecutive); v != sel.Consecutive || src != SelectivityAssumed {
+		t.Fatalf("consecutive: %v/%s", v, src)
+	}
+	// Choice's output is n1+n2 exactly — no selectivity to report.
+	if v, src := sel.ForOp(pattern.OpChoice); v != 0 || src != "" {
+		t.Fatalf("choice: %v/%q, want 0/\"\"", v, src)
+	}
+}
+
+func TestMeasured(t *testing.T) {
+	if ModelSelectivities().Measured() {
+		t.Fatal("model constants must not read as measured")
+	}
+	sel := ModelSelectivities()
+	sel.ParallelSource = SelectivityMeasured
+	if !sel.Measured() {
+		t.Fatal("one measured source must flip Measured()")
+	}
+}
+
+func TestEstimatorWithScalesCardinality(t *testing.T) {
+	stats := UniformStats{PerActivity: 100, Instances: 10}
+	hi := NewEstimatorWith(stats, Selectivities{Sequential: 1.0, SequentialSource: SelectivityMeasured})
+	lo := NewEstimator(stats) // assumed 0.25
+	p := pattern.MustParse("A -> B")
+	if h, l := hi.Estimate(p).Card, lo.Estimate(p).Card; h != 4*l {
+		t.Fatalf("sequential card with sel 1.0 = %g, want 4x the 0.25-model %g", h, l)
+	}
+}
+
+// skewStats gives each activity its own per-instance frequency, so tests can
+// place a composite sub-pattern's estimated cardinality between two atoms'.
+type skewStats struct {
+	counts map[string]int
+	inst   int
+}
+
+func (s skewStats) ActivityCount(act string) int { return s.counts[act] }
+func (s skewStats) TotalRecords() int {
+	total := 0
+	for _, n := range s.counts {
+		total += n
+	}
+	return total
+}
+func (s skewStats) WIDs() []uint64 {
+	wids := make([]uint64, s.inst)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	return wids
+}
+
+// TestOptimizeWithPlanFlip pins the tentpole behavior: the same query over
+// the same statistics yields different plans under assumed vs measured
+// selectivities. The ⊕ chain is reordered smallest-card first; (A -> B)'s
+// card is sel·16 per instance, so it sorts between the E (card 3) and F
+// (card 5) atoms under the 0.25 constant but after both under a measured
+// selectivity of 1.0, moving the join against the composite operand last.
+func TestOptimizeWithPlanFlip(t *testing.T) {
+	stats := skewStats{
+		counts: map[string]int{"A": 40, "B": 40, "E": 30, "F": 50},
+		inst:   10,
+	}
+	q := pattern.MustParse("E & (A -> B) & F")
+
+	static, _ := Optimize(q, stats)
+	adaptive, _ := OptimizeWith(q, stats, Selectivities{
+		Sequential:       1.0,
+		SequentialSource: SelectivityMeasured,
+	})
+
+	wantStatic := pattern.MustParse("(E & (A -> B)) & F")
+	wantAdaptive := pattern.MustParse("(E & F) & (A -> B)")
+	if !pattern.Equal(static, wantStatic) {
+		t.Errorf("static plan = %q, want %q", static, wantStatic)
+	}
+	if !pattern.Equal(adaptive, wantAdaptive) {
+		t.Errorf("adaptive plan = %q, want %q", adaptive, wantAdaptive)
+	}
+	if pattern.Equal(static, adaptive) {
+		t.Fatal("measured selectivities did not change the plan")
+	}
+	// Both plans are AC-equivalent — same answers, different evaluation order.
+	if !EquivalentModuloAC(static, adaptive) {
+		t.Fatal("plans must stay equivalent modulo Theorems 2-3")
+	}
+}
+
+func TestExplainWithReportsSelectivities(t *testing.T) {
+	stats := UniformStats{}
+	sel := ModelSelectivities()
+	sel.Sequential, sel.SequentialSource = 0.9, SelectivityMeasured
+	_, tr := ExplainWith(pattern.MustParse("A -> B"), stats, sel)
+	if tr.Selectivities.Sequential != 0.9 || tr.Selectivities.SequentialSource != SelectivityMeasured {
+		t.Fatalf("trace selectivities = %+v", tr.Selectivities)
+	}
+	if !tr.Selectivities.Measured() {
+		t.Fatal("trace must read as adaptive")
+	}
+	_, static := Explain(pattern.MustParse("A -> B"), stats)
+	if static.Selectivities.Measured() {
+		t.Fatal("default Explain must report assumed selectivities")
+	}
+}

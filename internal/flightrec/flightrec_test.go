@@ -1,0 +1,173 @@
+package flightrec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAssignsSequentialIDs(t *testing.T) {
+	r := New(4)
+	for want := uint64(1); want <= 3; want++ {
+		if id := r.Record(Capture{Query: "A"}); id != want {
+			t.Fatalf("Record returned id %d, want %d", id, want)
+		}
+	}
+	if got := r.Captured(); got != 3 {
+		t.Fatalf("Captured() = %d, want 3", got)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len() = %d, want 3", got)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := New(2)
+	r.Record(Capture{Query: "q1"})
+	r.Record(Capture{Query: "q2"})
+	r.Record(Capture{Query: "q3"})
+	if _, ok := r.Get(1); ok {
+		t.Fatal("capture 1 should have been evicted from a size-2 ring")
+	}
+	for _, id := range []uint64{2, 3} {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("capture %d missing", id)
+		}
+	}
+	if got := r.Captured(); got != 3 {
+		t.Fatalf("Captured() = %d, want 3 (lifetime count survives eviction)", got)
+	}
+}
+
+func TestNotableRingSurvivesFastOKFlood(t *testing.T) {
+	r := New(4)
+	panicID := r.Record(Capture{Query: "boom", Status: StatusPanic})
+	slowID := r.Record(Capture{Query: "slow", Status: StatusOK, Slow: true})
+	// Flood with fast healthy traffic: far more than the recent ring holds.
+	for i := 0; i < 50; i++ {
+		r.Record(Capture{Query: "ok", Status: StatusOK})
+	}
+	if _, ok := r.Get(panicID); !ok {
+		t.Fatal("panicked capture evicted by fast-OK flood; notable ring must retain it")
+	}
+	if _, ok := r.Get(slowID); !ok {
+		t.Fatal("slow capture evicted by fast-OK flood; notable ring must retain it")
+	}
+}
+
+func TestListNewestFirstAndDeduped(t *testing.T) {
+	r := New(8)
+	r.Record(Capture{Query: "a", Status: StatusOK})
+	// Notable captures land in both rings; List must report them once.
+	r.Record(Capture{Query: "b", Status: StatusError})
+	r.Record(Capture{Query: "c", Status: StatusOK})
+	got := r.List(Filter{})
+	if len(got) != 3 {
+		t.Fatalf("List returned %d captures, want 3 (deduplicated)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID <= got[i].ID {
+			t.Fatalf("List not newest-first: ids %d, %d", got[i-1].ID, got[i].ID)
+		}
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	r := New(16)
+	r.Record(Capture{Query: "a", Log: "clinic", Status: StatusOK, ElapsedUS: 100})
+	r.Record(Capture{Query: "b", Log: "clinic", Status: StatusBudget, ElapsedUS: 5000})
+	r.Record(Capture{Query: "c", Log: "fig3", Status: StatusOK, Slow: true, ElapsedUS: 900_000})
+
+	if got := r.List(Filter{Status: StatusBudget}); len(got) != 1 || got[0].Query != "b" {
+		t.Fatalf("status filter: got %d captures", len(got))
+	}
+	if got := r.List(Filter{Log: "fig3"}); len(got) != 1 || got[0].Query != "c" {
+		t.Fatalf("log filter: got %d captures", len(got))
+	}
+	if got := r.List(Filter{MinElapsed: time.Millisecond}); len(got) != 2 {
+		t.Fatalf("min-elapsed filter: got %d captures, want 2", len(got))
+	}
+	if got := r.List(Filter{SlowOnly: true}); len(got) != 1 || got[0].Query != "c" {
+		t.Fatalf("slow filter: got %d captures", len(got))
+	}
+	if got := r.List(Filter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit: got %d captures, want 2", len(got))
+	}
+}
+
+func TestGetUnknownID(t *testing.T) {
+	r := New(4)
+	if _, ok := r.Get(42); ok {
+		t.Fatal("Get of never-recorded id succeeded")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if id := r.Record(Capture{Query: "x"}); id != 0 {
+		t.Fatalf("nil Record returned %d, want 0", id)
+	}
+	if got := r.List(Filter{}); got != nil {
+		t.Fatal("nil List returned captures")
+	}
+	if _, ok := r.Get(1); ok {
+		t.Fatal("nil Get succeeded")
+	}
+	if r.Len() != 0 || r.Captured() != 0 {
+		t.Fatal("nil recorder reported contents")
+	}
+}
+
+func TestZeroAndNegativeSizes(t *testing.T) {
+	if r := New(0); r.size != DefaultSize {
+		t.Fatalf("New(0) size = %d, want DefaultSize", r.size)
+	}
+	if r := New(-5); r.size != 1 {
+		t.Fatalf("New(-5) size = %d, want 1", r.size)
+	}
+}
+
+func TestRecordCopiesValue(t *testing.T) {
+	r := New(4)
+	c := Capture{Query: "original"}
+	id := r.Record(c)
+	c.Query = "mutated after record"
+	got, ok := r.Get(id)
+	if !ok || got.Query != "original" {
+		t.Fatalf("stored capture shares caller memory: %q", got.Query)
+	}
+}
+
+func TestConcurrentRecordListGet(t *testing.T) {
+	r := New(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				status := StatusOK
+				if j%5 == 0 {
+					status = StatusError
+				}
+				r.Record(Capture{Query: fmt.Sprintf("q%d-%d", i, j), Status: status})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				for _, c := range r.List(Filter{Limit: 4}) {
+					r.Get(c.ID)
+				}
+				r.Len()
+				r.Captured()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Captured(); got != 8*200 {
+		t.Fatalf("Captured() = %d, want %d", got, 8*200)
+	}
+}

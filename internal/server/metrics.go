@@ -10,6 +10,7 @@ import (
 
 	"wlq/internal/core/eval"
 	"wlq/internal/core/pattern"
+	"wlq/internal/flightrec"
 	"wlq/internal/resilience"
 )
 
@@ -43,6 +44,12 @@ type metrics struct {
 	// coalescedReloads counts reload requests that joined an in-progress
 	// pass (single-flight) instead of starting their own.
 	coalescedReloads atomic.Uint64
+
+	// Adaptive cost-model counters: plans ranked with measured selectivities
+	// from the statistics registry versus the static model constants (a
+	// registry below its evidence thresholds still ranks statically).
+	adaptivePlans atomic.Uint64
+	staticPlans   atomic.Uint64
 
 	// Sharded-execution counters (zero unless Config.Shards is set): queries
 	// run shard-by-shard, per-shard retry attempts, shards excluded after
@@ -199,41 +206,51 @@ type latencyDoc struct {
 
 // metricsDoc is the full GET /metrics response.
 type metricsDoc struct {
-	UptimeSeconds      float64    `json:"uptime_seconds"`
-	LogsLoaded         int        `json:"logs_loaded"`
-	QueriesTotal       uint64     `json:"queries_total"`
-	QueryErrors        uint64     `json:"query_errors"`
-	QueryTimeouts      uint64     `json:"query_timeouts"`
-	CacheHits          uint64     `json:"cache_hits"`
-	CacheMisses        uint64     `json:"cache_misses"`
-	CacheEntries       int        `json:"cache_entries"`
-	CacheEvictions     uint64     `json:"cache_evictions"`
-	IncidentsReturned  uint64     `json:"incidents_returned"`
-	InstancesEvaluated uint64     `json:"instances_evaluated"`
-	SlowQueries        uint64     `json:"slow_queries"`
-	QueriesShed        uint64     `json:"queries_shed"`
-	PanicsRecovered    uint64     `json:"panics_recovered"`
-	BudgetAborts       uint64     `json:"budget_aborts"`
-	CostRejected       uint64     `json:"cost_rejected"`
-	LogReloads         uint64     `json:"log_reloads"`
-	LogReloadFailures  uint64     `json:"log_reload_failures"`
-	CoalescedReloads   uint64     `json:"coalesced_reloads"`
-	LogsQuarantined    int        `json:"logs_quarantined"`
-	ShardedQueries     uint64     `json:"sharded_queries"`
-	ShardRetries       uint64     `json:"shard_retries"`
-	ShardsFailed       uint64     `json:"shards_failed"`
-	ShardsSkipped      uint64     `json:"shards_skipped"`
-	PartialResults     uint64     `json:"partial_results"`
-	WIDsExcluded       uint64     `json:"wids_excluded"`
-	BreakersOpen       int        `json:"breakers_open"`
-	AdmissionCapacity  int        `json:"admission_capacity"`
-	AdmissionInFlight  int        `json:"admission_in_flight"`
-	InflightQueries    int64      `json:"inflight_queries"`
-	WorkersPerQuery    int        `json:"workers_per_query"`
-	BusyWorkers        int64      `json:"busy_workers"`
-	WorkerCapacity     int        `json:"worker_capacity"`
-	WorkerUtilization  float64    `json:"worker_utilization"`
-	Latency            latencyDoc `json:"latency"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Backend            string  `json:"backend"`
+	LogsLoaded         int     `json:"logs_loaded"`
+	QueriesTotal       uint64  `json:"queries_total"`
+	QueryErrors        uint64  `json:"query_errors"`
+	QueryTimeouts      uint64  `json:"query_timeouts"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheEntries       int     `json:"cache_entries"`
+	CacheEvictions     uint64  `json:"cache_evictions"`
+	IncidentsReturned  uint64  `json:"incidents_returned"`
+	InstancesEvaluated uint64  `json:"instances_evaluated"`
+	SlowQueries        uint64  `json:"slow_queries"`
+	QueriesShed        uint64  `json:"queries_shed"`
+	PanicsRecovered    uint64  `json:"panics_recovered"`
+	BudgetAborts       uint64  `json:"budget_aborts"`
+	CostRejected       uint64  `json:"cost_rejected"`
+	LogReloads         uint64  `json:"log_reloads"`
+	LogReloadFailures  uint64  `json:"log_reload_failures"`
+	CoalescedReloads   uint64  `json:"coalesced_reloads"`
+	LogsQuarantined    int     `json:"logs_quarantined"`
+	ShardedQueries     uint64  `json:"sharded_queries"`
+	ShardRetries       uint64  `json:"shard_retries"`
+	ShardsFailed       uint64  `json:"shards_failed"`
+	ShardsSkipped      uint64  `json:"shards_skipped"`
+	PartialResults     uint64  `json:"partial_results"`
+	WIDsExcluded       uint64  `json:"wids_excluded"`
+	BreakersOpen       int     `json:"breakers_open"`
+	AdmissionCapacity  int     `json:"admission_capacity"`
+	AdmissionInFlight  int     `json:"admission_in_flight"`
+	InflightQueries    int64   `json:"inflight_queries"`
+	WorkersPerQuery    int     `json:"workers_per_query"`
+	BusyWorkers        int64   `json:"busy_workers"`
+	WorkerCapacity     int     `json:"worker_capacity"`
+	WorkerUtilization  float64 `json:"worker_utilization"`
+	// Flight-recorder gauges: captures recorded over the service lifetime
+	// and captures currently resident in the rings.
+	FlightCaptured uint64 `json:"flightrec_captured"`
+	FlightEntries  int    `json:"flightrec_entries"`
+	// Adaptive cost-model counters: plans ranked with measured vs assumed
+	// selectivities.
+	AdaptivePlans uint64 `json:"adaptive_plans"`
+	StaticPlans   uint64 `json:"static_plans"`
+
+	Latency latencyDoc `json:"latency"`
 	// OperatorComparisons and OperatorOutputs are the service-lifetime
 	// per-operator totals measured by the evaluator (Lemma 1 accounting).
 	OperatorComparisons map[string]uint64 `json:"operator_comparisons"`
@@ -244,7 +261,7 @@ type metricsDoc struct {
 // per-query worker count; breakersOpen is the live count of not-closed
 // per-shard circuit breakers; logs, cache and admission supply their own
 // gauges.
-func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission) metricsDoc {
+func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission, flight *flightrec.Recorder, backend string) metricsDoc {
 	count, p50, p95, p99, max := m.lat.percentiles()
 	capacity := runtime.GOMAXPROCS(0)
 	busy := m.busyWorkers.Load()
@@ -255,6 +272,7 @@ func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpe
 	opComparisons, opOutputs := m.operatorTotals()
 	return metricsDoc{
 		UptimeSeconds:       time.Since(m.start).Seconds(),
+		Backend:             backend,
 		LogsLoaded:          logsLoaded,
 		QueriesTotal:        m.queriesTotal.Load(),
 		QueryErrors:         m.queryErrors.Load(),
@@ -288,6 +306,10 @@ func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpe
 		BusyWorkers:         busy,
 		WorkerCapacity:      capacity,
 		WorkerUtilization:   util,
+		FlightCaptured:      flight.Captured(),
+		FlightEntries:       flight.Len(),
+		AdaptivePlans:       m.adaptivePlans.Load(),
+		StaticPlans:         m.staticPlans.Load(),
 		Latency:             latencyDoc{Count: count, P50: p50, P95: p95, P99: p99, Max: max},
 		OperatorComparisons: opComparisons,
 		OperatorOutputs:     opOutputs,

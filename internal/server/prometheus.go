@@ -40,7 +40,7 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	s.mu.RLock()
 	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
-	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission)
+	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission, s.flight, s.backendName())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -48,6 +48,18 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		gauge(doc.UptimeSeconds)...)
 	writeFamily(w, "wlq_logs_loaded", "Workflow logs loaded and indexed.", "gauge",
 		gauge(float64(doc.LogsLoaded))...)
+	// Storage backend as a one-hot labeled gauge, so dashboards can select
+	// series by backend without string-valued metrics.
+	backendSamples := make([]promSample, 0, 2)
+	for _, b := range []string{"row", "columnar"} {
+		v := "0"
+		if doc.Backend == b {
+			v = "1"
+		}
+		backendSamples = append(backendSamples, promSample{labels: `{backend="` + b + `"}`, value: v})
+	}
+	writeFamily(w, "wlq_storage_backend", "Active storage backend (one-hot).", "gauge",
+		backendSamples...)
 	writeFamily(w, "wlq_queries_total", "Queries received on POST /v1/query.", "counter",
 		counter(doc.QueriesTotal)...)
 	writeFamily(w, "wlq_query_errors_total", "Queries rejected or failed.", "counter",
@@ -110,6 +122,14 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		gauge(float64(doc.WorkerCapacity))...)
 	writeFamily(w, "wlq_worker_utilization", "Busy workers over capacity.", "gauge",
 		gauge(doc.WorkerUtilization)...)
+	writeFamily(w, "wlq_flightrec_captured_total", "Query executions captured by the flight recorder.", "counter",
+		counter(doc.FlightCaptured)...)
+	writeFamily(w, "wlq_flightrec_entries", "Captures currently resident in the flight-recorder rings.", "gauge",
+		gauge(float64(doc.FlightEntries))...)
+	writeFamily(w, "wlq_adaptive_plans_total", "Plans ranked with measured selectivities from the statistics registry.", "counter",
+		counter(doc.AdaptivePlans)...)
+	writeFamily(w, "wlq_static_plans_total", "Plans ranked with the static model constants.", "counter",
+		counter(doc.StaticPlans)...)
 
 	// Per-operator Lemma 1 accounting, labeled by operator name.
 	ops := []string{"consecutive", "sequential", "choice", "parallel"}

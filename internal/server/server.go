@@ -39,9 +39,11 @@ import (
 	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
 	"wlq/internal/core/rewrite"
+	"wlq/internal/flightrec"
 	"wlq/internal/obs"
 	"wlq/internal/resilience"
 	"wlq/internal/shard"
+	"wlq/internal/stats"
 	"wlq/internal/wlog"
 )
 
@@ -55,6 +57,8 @@ const (
 	// that a burst of Lemma 1 worst cases sheds instead of queueing without
 	// bound.
 	DefaultMaxInFlight = 64
+	// DefaultFlightRecorderSize is the flight recorder's per-ring capacity.
+	DefaultFlightRecorderSize = flightrec.DefaultSize
 )
 
 // Config tunes the service. The zero value serves with merge joins,
@@ -124,6 +128,22 @@ type Config struct {
 	// index: interned activity symbols and per-activity posting lists.
 	// Answers are identical on either backend; see docs/STORAGE.md.
 	Columnar bool
+	// FlightRecorderSize is the query flight recorder's per-ring capacity:
+	// the recorder keeps that many recent executions plus that many notable
+	// (slow or failed) ones. 0 means DefaultFlightRecorderSize; negative
+	// disables the recorder (and its GET /v1/queries endpoints).
+	FlightRecorderSize int
+	// Adaptive enables the measured-selectivity cost model: each log gets a
+	// statistics registry fed by successful complete evaluations, and the
+	// optimizer ranks plans with the measured operator selectivities once
+	// enough evidence accumulates (the Lemma 1 model constants until then).
+	// Registries persist as <source>.stats.json next to file-backed logs
+	// (see StatsFile) and survive hot reloads in memory regardless.
+	Adaptive bool
+	// StatsFile overrides the statistics snapshot path. Only meaningful
+	// with Adaptive and a single log (every log would share the one file);
+	// cmd/wlq-serve enforces that. Empty means the per-source default.
+	StatsFile string
 }
 
 // withDefaults resolves the zero values.
@@ -176,6 +196,19 @@ type Server struct {
 	cache      *lru
 	metrics    *metrics
 
+	// flight is the query flight recorder (nil when disabled by a negative
+	// Config.FlightRecorderSize). It is append-only shared state, never
+	// replaced, so captures from before and after a hot reload coexist,
+	// distinguished by their generation field.
+	flight *flightrec.Recorder
+
+	// stats maps log name -> statistics registry state (nil map entries
+	// never occur; the map itself is empty unless Config.Adaptive). Guarded
+	// by mu. Registries are NOT rebuilt on hot reload: measured behavior is
+	// a property of the log's workload, and the snapshot on disk is the
+	// authority across restarts.
+	stats map[string]*logStats
+
 	// reloadMu guards reloadCall, the single-flight slot for ReloadLogs:
 	// concurrent reload requests (SIGHUP racing POST /v1/reload) join the
 	// in-progress pass instead of starting their own.
@@ -190,6 +223,10 @@ func New(cfg Config) *Server {
 	if capacity == 0 {
 		capacity = DefaultMaxInFlight
 	}
+	var flight *flightrec.Recorder
+	if cfg.FlightRecorderSize >= 0 {
+		flight = flightrec.New(cfg.FlightRecorderSize) // 0 resolves to the default size
+	}
 	return &Server{
 		cfg:        cfg,
 		admission:  resilience.NewAdmission(capacity), // nil (unlimited) when negative
@@ -197,7 +234,50 @@ func New(cfg Config) *Server {
 		quarantine: make(map[string]string),
 		cache:      newLRU(cfg.CacheSize),
 		metrics:    newMetrics(),
+		flight:     flight,
+		stats:      make(map[string]*logStats),
 	}
+}
+
+// logStats is one log's adaptive cost-model state: the registry and the
+// snapshot path it persists to ("" = in-memory only, for generated logs).
+type logStats struct {
+	reg  *stats.Registry
+	path string
+}
+
+// statsFor returns a log's statistics registry, or nil when the adaptive
+// cost model is off (or the log is unknown).
+func (s *Server) statsFor(name string) *stats.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ls, ok := s.stats[name]; ok {
+		return ls.reg
+	}
+	return nil
+}
+
+// saveStats persists a log's registry to its snapshot path, if it has one.
+// Failures are logged, not fatal: statistics are an optimization, and the
+// next successful query retries the write.
+func (s *Server) saveStats(name string) {
+	s.mu.RLock()
+	ls := s.stats[name]
+	s.mu.RUnlock()
+	if ls == nil || ls.path == "" {
+		return
+	}
+	if err := ls.reg.Save(ls.path); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Error("stats snapshot write failed", "log", name, "path", ls.path, "error", err)
+	}
+}
+
+// backendName names the configured storage backend for captures and metrics.
+func (s *Server) backendName() string {
+	if s.cfg.Columnar {
+		return "columnar"
+	}
+	return "row"
 }
 
 // AddLog registers a log under a name and builds its index. source is a
@@ -220,6 +300,23 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 	e.shardex = s.newShardExecutor(e.ix)
 	if err := l.Validate(); err != nil {
 		e.valid, e.reason = false, err.Error()
+	}
+	if s.cfg.Adaptive {
+		path := s.cfg.StatsFile
+		if path == "" {
+			path = stats.PathFor(source)
+		}
+		reg := stats.New()
+		if path != "" {
+			loaded, err := stats.Load(path)
+			if err != nil {
+				// A corrupt snapshot must not silently discard accumulated
+				// statistics; the operator decides (delete the file, or fix it).
+				return fmt.Errorf("server: log %q: %w", name, err)
+			}
+			reg = loaded
+		}
+		s.stats[name] = &logStats{reg: reg, path: path}
 	}
 	s.logs[name] = e
 	s.names = append(s.names, name)
@@ -288,6 +385,8 @@ func (s *Server) lookup(name string) (*logEntry, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/queries", s.handleFlightList)
+	mux.HandleFunc("GET /v1/queries/{id}", s.handleFlightGet)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/logs", s.handleLogs)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -507,12 +606,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Latency is observed on EVERY exit path — parse errors, timeouts and
 	// evaluation failures included — so the percentiles and the histogram
 	// are not survivorship-biased toward successful queries. The slow-query
-	// log rides on the same hook.
+	// log rides on the same hook, and so does the flight recorder: every
+	// exit path with a known query text lands in it (slow and failed
+	// executions additionally earn a slot in its notable ring).
 	var req queryRequest
+	var capture flightrec.Capture
 	defer func() {
 		elapsed := time.Since(started)
 		s.metrics.observeLatency(elapsed)
-		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		slow := s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery
+		if slow {
 			s.metrics.slowQueries.Add(1)
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Warn("slow query",
@@ -523,7 +626,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				)
 			}
 		}
+		if s.flight != nil && req.Query != "" {
+			capture.Time = time.Now()
+			capture.Query = req.Query
+			capture.Backend = s.backendName()
+			capture.ElapsedUS = elapsed.Microseconds()
+			capture.Slow = slow
+			if capture.Status == "" {
+				capture.Status = flightrec.StatusOK
+				capture.HTTPStatus = http.StatusOK
+			}
+			s.flight.Record(capture)
+		}
 	}()
+	// capFail stamps the capture's outcome on an error exit; the deferred
+	// hook above records it.
+	capFail := func(st flightrec.Status, code int, msg string) {
+		capture.Status = st
+		capture.HTTPStatus = code
+		capture.Error = msg
+	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -553,6 +675,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "incidents", "exists", "count", "instances":
 	default:
 		s.metrics.queryErrors.Add(1)
+		capFail(flightrec.StatusError, http.StatusBadRequest, "unknown mode "+mode)
 		writeError(w, http.StatusBadRequest,
 			"unknown mode %q (want incidents, exists, count or instances)", mode)
 		return
@@ -560,25 +683,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	strategy, err := parseStrategy(req.Strategy, s.cfg.Strategy)
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
+		capFail(flightrec.StatusError, http.StatusBadRequest, err.Error())
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Limit < 0 || req.Workers < 0 || req.MaxResults < 0 || req.TimeoutMS < 0 {
 		s.metrics.queryErrors.Add(1)
+		capFail(flightrec.StatusError, http.StatusBadRequest, "negative request parameter")
 		writeError(w, http.StatusBadRequest, "limit, workers, max_results and timeout_ms must be >= 0")
 		return
 	}
 	entry, err := s.lookup(req.Log)
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
+		capFail(flightrec.StatusError, http.StatusNotFound, err.Error())
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	capture.Log = entry.name
+	capture.Generation = entry.gen
+	capture.Sharded = entry.shardex != nil
 
-	// The trace (when requested) is created before parsing so the parse
-	// span covers it.
+	// The trace is created before parsing so the parse span covers it. With
+	// the flight recorder on, EVERY execution is traced internally — the
+	// capture carries the span tree and cost table whether or not the client
+	// asked for them — but only an explicit "trace": true puts the trace in
+	// the response (and bypasses the result cache to guarantee fresh
+	// measurements; the internal trace does not change caching semantics).
 	var qtr *obs.Trace
-	if req.Trace {
+	if req.Trace || s.flight != nil {
 		qtr = obs.NewTrace("query")
 	}
 
@@ -588,6 +721,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("error", err.Error())
 		sp.End()
 		s.metrics.queryErrors.Add(1)
+		capFail(flightrec.StatusError, http.StatusBadRequest, "parse error: "+err.Error())
 		writeError(w, http.StatusBadRequest, "parse error: %v", err)
 		return
 	}
@@ -600,6 +734,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	canonical := pattern.CanonicalKey(p)
 	sp.SetAttr("key", canonical)
 	sp.End()
+	capture.Canonical = canonical
 
 	// The reload generation is part of the key, so a hot reload makes every
 	// pre-reload entry unreachable (LRU pressure ages them out) without an
@@ -621,28 +756,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if cached {
 		s.metrics.cacheHits.Add(1)
+		capture.Cached = true
+		capture.Plan = ce.plan.String()
+		if qtr != nil {
+			// A cache hit ran no evaluation: the capture's trace carries the
+			// parse/canonicalize spans but no eval spans or cost table.
+			qtr.End()
+			capture.Trace = &obs.QueryTrace{
+				Query:    req.Query,
+				Plan:     ce.plan.String(),
+				Strategy: strategy.String(),
+				Spans:    qtr.Root(),
+			}
+		}
 	} else {
 		if cacheable {
 			s.metrics.cacheMisses.Add(1)
 		}
+		// The adaptive cost model: rank plans with the log's measured
+		// selectivities when a statistics registry is attached, the Lemma 1
+		// model constants otherwise. Either way the rewrite laws applied are
+		// identical — answers cannot change, only plan shape.
+		sel := rewrite.ModelSelectivities()
+		if reg := s.statsFor(entry.name); reg != nil {
+			sel = reg.Selectivities()
+		}
+		capture.Planner = plannerName(sel)
 		plan := pattern.Node(p)
 		var trace rewrite.Trace
 		if req.NoOptimize {
 			trace = rewrite.Trace{Input: p, Output: p}
 		} else {
 			sp = qtr.StartSpan("rewrite")
-			plan, trace = rewrite.Explain(p, entry.ix)
+			plan, trace = rewrite.ExplainWith(p, entry.ix, sel)
 			obs.RewriteSpans(sp, trace)
 			sp.End()
+			if sel.Measured() {
+				s.metrics.adaptivePlans.Add(1)
+			} else {
+				s.metrics.staticPlans.Add(1)
+			}
 		}
+		capture.Plan = plan.String()
 
-		// Pre-flight admission: the Lemma 1 cost model prices the plan the
-		// service will actually run, so queries predicted to blow past the
-		// ceiling are rejected before they consume a single worker.
+		// Pre-flight admission: the cost model prices the plan the service
+		// will actually run, so queries predicted to blow past the ceiling
+		// are rejected before they consume a single worker.
 		if s.cfg.MaxPredictedCost > 0 {
-			predicted := rewrite.NewEstimator(entry.ix).Cost(plan)
+			predicted := rewrite.NewEstimatorWith(entry.ix, sel).Cost(plan)
 			if predicted > s.cfg.MaxPredictedCost {
 				s.metrics.costRejected.Add(1)
+				capFail(flightrec.StatusError, http.StatusUnprocessableEntity,
+					fmt.Sprintf("predicted cost %.3g exceeds ceiling %.3g", predicted, s.cfg.MaxPredictedCost))
 				writeJSON(w, http.StatusUnprocessableEntity, errorDoc{
 					Error: fmt.Sprintf(
 						"query rejected before evaluation: predicted cost %.3g exceeds the ceiling %.3g (tighten the pattern, or raise -max-predicted-cost)",
@@ -691,6 +856,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			sp.End()
 			// Error paths return before cache.put: a timeout, budget abort
 			// or fault never poisons the result cache (see TestCacheNotPoisoned*).
+			// The capture of a failed evaluation still carries the partial
+			// cost table: every operator that completed before the abort is
+			// accounted, which is usually exactly what explains the failure.
+			qtr.End()
+			if qtr != nil {
+				capture.Trace = &obs.QueryTrace{
+					Query:     req.Query,
+					Plan:      plan.String(),
+					Strategy:  strategy.String(),
+					Spans:     qtr.Root(),
+					CostTable: obs.CostTableWith(plan, meter, sel),
+				}
+			}
 			var be *resilience.BudgetError
 			var pe *resilience.PanicError
 			switch {
@@ -699,12 +877,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				// completed before the abort is accounted, so the client
 				// sees where the budget went.
 				s.metrics.budgetAborts.Add(1)
+				capFail(flightrec.StatusBudget, http.StatusUnprocessableEntity, be.Error())
 				writeJSON(w, http.StatusUnprocessableEntity, errorDoc{
 					Error:           fmt.Sprintf("query aborted: %v", be),
 					BudgetDimension: be.Dimension,
 					BudgetLimit:     be.Limit,
 					BudgetMeasured:  be.Measured,
-					CostTable:       obs.CostTable(plan, meter),
+					CostTable:       obs.CostTableWith(plan, meter, sel),
 				})
 			case errors.As(err, &pe):
 				s.metrics.panicsRecovered.Add(1)
@@ -716,16 +895,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 						"stack", string(pe.Stack),
 					)
 				}
+				capFail(flightrec.StatusPanic, http.StatusInternalServerError,
+					"evaluation fault (incident "+pe.IncidentID+")")
 				writeJSON(w, http.StatusInternalServerError, errorDoc{
 					Error:      "evaluation fault; the query was isolated and the service keeps serving",
 					IncidentID: pe.IncidentID,
 				})
 			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.queryTimeouts.Add(1)
+				capFail(flightrec.StatusTimeout, http.StatusGatewayTimeout,
+					fmt.Sprintf("query exceeded the %v evaluation timeout", s.timeout(req.TimeoutMS)))
 				writeError(w, http.StatusGatewayTimeout,
 					"query exceeded the %v evaluation timeout", s.timeout(req.TimeoutMS))
 			default:
 				s.metrics.queryErrors.Add(1)
+				capFail(flightrec.StatusError, http.StatusInternalServerError, err.Error())
 				writeError(w, http.StatusInternalServerError, "evaluation aborted: %v", err)
 			}
 			return
@@ -734,17 +918,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("workers", qs.Workers)
 		sp.SetAttr("instances", qs.Instances)
 		sp.SetAttr("incidents", qs.Incidents)
-		obs.EvalSpans(sp, plan, meter)
+		obs.EvalSpansWith(sp, plan, meter, sel)
 		sp.End()
 		qtr.End()
 		if qtr != nil {
+			// Built whenever an internal trace exists (flight recorder on or
+			// trace requested); attached to the response only on request.
 			queryTrace = &obs.QueryTrace{
 				Query:     req.Query,
 				Plan:      plan.String(),
 				Strategy:  strategy.String(),
 				Spans:     qtr.Root(),
-				CostTable: obs.CostTable(plan, meter),
+				CostTable: obs.CostTableWith(plan, meter, sel),
 			}
+			capture.Trace = queryTrace
 		}
 		// Strict mode: an incomplete result the client did not opt into is a
 		// 502 (the upstream shards failed us), carrying the completeness
@@ -753,6 +940,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.metrics.partialResults.Add(1)
 			if !req.Partial {
 				s.metrics.queryErrors.Add(1)
+				capFail(flightrec.StatusPartial, http.StatusBadGateway,
+					fmt.Sprintf("partial result rejected: %d of %d shards lost", comp.Failed+comp.Skipped, comp.Shards))
+				capture.Completeness = comp
 				writeJSON(w, http.StatusBadGateway, errorDoc{
 					Error: fmt.Sprintf(
 						"partial result: %d of %d shards lost (%d wids excluded); set \"partial\": true to accept degraded results",
@@ -761,6 +951,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				})
 				return
 			}
+		}
+		// Statistics hygiene: only a complete, successful evaluation feeds
+		// the selectivity registry. Partial results (lost shards), budget
+		// aborts, panics and timeouts all exited above — their truncated
+		// output counts would read as selectivity and poison later plans.
+		if reg := s.statsFor(entry.name); reg != nil && (comp == nil || comp.Complete) {
+			meter.Flush(reg)
+			s.saveStats(entry.name)
 		}
 		ce = &cacheEntry{plan: plan, trace: trace, set: set}
 		// A partial result is never cached: a later query must not be served
@@ -781,7 +979,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		Count:     ce.set.Len(),
 		Exists:    ce.set.Len() > 0,
-		Trace:     queryTrace,
+	}
+	if req.Trace {
+		// The internal always-on trace (flight recorder) is captured above;
+		// the response carries it only when explicitly requested.
+		resp.Trace = queryTrace
 	}
 	resp.Completeness = comp
 	resp.Partial = comp != nil && !comp.Complete
@@ -803,12 +1005,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedUS = time.Since(started).Microseconds()
 	code := http.StatusOK
+	capture.Status = flightrec.StatusOK
 	if resp.Partial {
 		// 206: a well-formed answer covering only part of the log, as the
 		// request's "partial": true accepted.
 		code = http.StatusPartialContent
+		capture.Status = flightrec.StatusPartial
 	}
+	capture.HTTPStatus = code
+	capture.Completeness = comp
 	writeJSON(w, code, resp)
+}
+
+// plannerName labels which cost model ranked a plan, for captures and the
+// adaptive/static plan counters.
+func plannerName(sel rewrite.Selectivities) string {
+	if sel.Measured() {
+		return "adaptive"
+	}
+	return "static"
 }
 
 // retryAfterSeconds converts an advisory retry delay to the whole-second
@@ -878,13 +1093,37 @@ func toEstimateDoc(e rewrite.Estimate) estimateDoc {
 	return estimateDoc{Cost: e.Cost, CardPerInstance: e.Card, Atoms: e.Atoms}
 }
 
-// selectivityDoc surfaces the cost model's assumed constants; see
-// rewrite.ModelSelectivities and docs/OPERATIONS.md for the assumptions.
+// selectivityDoc surfaces the cost model's selectivities with their
+// provenance: each value is either the assumed model constant or a measured
+// value from the log's statistics registry (adaptive cost model). See
+// rewrite.ModelSelectivities and docs/OPERATIONS.md.
 type selectivityDoc struct {
 	Guard       float64 `json:"guard"`
 	Consecutive float64 `json:"consecutive"`
 	Sequential  float64 `json:"sequential"`
 	Parallel    float64 `json:"parallel"`
+	// The *Source fields are "assumed" or "measured", per value.
+	GuardSource       string `json:"guard_source,omitempty"`
+	ConsecutiveSource string `json:"consecutive_source,omitempty"`
+	SequentialSource  string `json:"sequential_source,omitempty"`
+	ParallelSource    string `json:"parallel_source,omitempty"`
+	// Adaptive is true when at least one value is measured — the plan the
+	// explain describes is the adaptive planner's choice.
+	Adaptive bool `json:"adaptive,omitempty"`
+}
+
+func toSelectivityDoc(sel rewrite.Selectivities) selectivityDoc {
+	return selectivityDoc{
+		Guard:             sel.Guard,
+		Consecutive:       sel.Consecutive,
+		Sequential:        sel.Sequential,
+		Parallel:          sel.Parallel,
+		GuardSource:       sel.GuardSource,
+		ConsecutiveSource: sel.ConsecutiveSource,
+		SequentialSource:  sel.SequentialSource,
+		ParallelSource:    sel.ParallelSource,
+		Adaptive:          sel.Measured(),
+	}
 }
 
 // explainResponse is the GET /v1/explain result.
@@ -920,31 +1159,29 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse error: %v", err)
 		return
 	}
-	opt, trace := rewrite.Explain(p, entry.ix)
 	sel := rewrite.ModelSelectivities()
+	if reg := s.statsFor(entry.name); reg != nil {
+		sel = reg.Selectivities()
+	}
+	opt, trace := rewrite.ExplainWith(p, entry.ix, sel)
 	steps := trace.Steps
 	if steps == nil {
 		steps = []string{}
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
-		Log:          entry.name,
-		Query:        q,
-		PaperForm:    pattern.Pretty(p),
-		Canonical:    pattern.CanonicalKey(p),
-		IncidentTree: pattern.TreeString(p),
-		Optimized:    opt.String(),
-		Changed:      trace.Changed(),
-		Steps:        steps,
-		Before:       toEstimateDoc(trace.Before),
-		After:        toEstimateDoc(trace.After),
-		Strategy:     s.cfg.Strategy.String(),
-		Workers:      s.cfg.Workers,
-		Selectivities: selectivityDoc{
-			Guard:       sel.Guard,
-			Consecutive: sel.Consecutive,
-			Sequential:  sel.Sequential,
-			Parallel:    sel.Parallel,
-		},
+		Log:           entry.name,
+		Query:         q,
+		PaperForm:     pattern.Pretty(p),
+		Canonical:     pattern.CanonicalKey(p),
+		IncidentTree:  pattern.TreeString(p),
+		Optimized:     opt.String(),
+		Changed:       trace.Changed(),
+		Steps:         steps,
+		Before:        toEstimateDoc(trace.Before),
+		After:         toEstimateDoc(trace.After),
+		Strategy:      s.cfg.Strategy.String(),
+		Workers:       s.cfg.Workers,
+		Selectivities: toSelectivityDoc(trace.Selectivities),
 	})
 }
 
@@ -963,6 +1200,9 @@ type logDoc struct {
 	// ReloadError is set while the log is quarantined: the last reload
 	// failed and this entry is the retained last-good snapshot.
 	ReloadError string `json:"reload_error,omitempty"`
+	// AdaptiveQueries counts the complete evaluations folded into the log's
+	// statistics registry (absent when the adaptive cost model is off).
+	AdaptiveQueries uint64 `json:"adaptive_queries,omitempty"`
 }
 
 // logsResponse is the GET /v1/logs result.
@@ -1002,6 +1242,7 @@ func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 			Error:             e.reason,
 			Generation:        e.gen,
 			ReloadError:       reloadErrs[e.name],
+			AdaptiveQueries:   s.statsFor(e.name).Queries(),
 		}
 	}
 	writeJSON(w, http.StatusOK, logsResponse{Logs: docs})
@@ -1022,5 +1263,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission))
+		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(),
+			s.cache, s.admission, s.flight, s.backendName()))
 }

@@ -1,0 +1,383 @@
+// Package stats maintains per-log evaluation statistics and derives measured
+// operator selectivities from them, closing the loop between the evaluator's
+// Meter and the rewriter's cost model.
+//
+// The paper's optimizer (Section V, Lemma 1) ranks rewrites with fixed
+// selectivity constants — documented assumptions, not measurements. But every
+// metered query already observes the true join behavior: for each operator
+// node the Meter records Σ n1·n2 candidate pairs and the incidents actually
+// produced, and for each atom the candidates examined and matches kept. A
+// Registry aggregates those observations across queries, keyed by operator
+// and by activity, and exposes them as a rewrite.Selectivities whose values
+// are measured where enough evidence has accumulated and the model constants
+// otherwise.
+//
+// Hygiene is the caller's contract: only successful, complete (non-partial,
+// non-budget-tripped, non-panicked) evaluations may be folded in — a
+// truncated run under-reports outputs and would bias every later plan.
+//
+// A Registry persists as a versioned JSON snapshot written atomically
+// (temp file + rename) next to the log it describes, so measured behavior
+// survives process restarts and hot reloads.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/core/rewrite"
+)
+
+// SchemaVersion identifies the snapshot layout. Load rejects snapshots with
+// a different schema rather than guessing at field meanings.
+const SchemaVersion = "wlq-stats/v1"
+
+// Evidence thresholds: below these the registry keeps reporting the model
+// constant. A handful of observed pairs says nothing about a selectivity;
+// trusting it would make the first query after startup rewrite the planner.
+const (
+	// MinOperatorPairs is the minimum Σ n1·n2 an operator must have
+	// accumulated before its measured selectivity overrides the constant.
+	MinOperatorPairs = 64
+	// MinGuardCandidates is the minimum guarded-atom candidates before the
+	// measured guard pass rate overrides the constant.
+	MinGuardCandidates = 64
+)
+
+// Selectivity clamp bounds: a measured zero would estimate every plan
+// containing the operator as free, and values above 1 are noise (merge
+// outputs can exceed pairs on degenerate inputs).
+const (
+	minSelectivity = 1e-4
+	maxSelectivity = 1.0
+)
+
+// OperatorStats aggregates the observed behavior of one operator across all
+// folded-in queries.
+type OperatorStats struct {
+	// Evals counts instance evaluations of nodes with this operator.
+	Evals uint64 `json:"evals"`
+	// Pairs is Σ n1·n2 — the candidate pairs offered to the join.
+	Pairs uint64 `json:"pairs"`
+	// Outputs is the incidents the joins actually produced.
+	Outputs uint64 `json:"outputs"`
+	// Comparisons is the measured record-level comparison work.
+	Comparisons uint64 `json:"comparisons"`
+}
+
+// Selectivity returns Outputs/Pairs clamped to (0, 1], or (0, false) when
+// the operator has not accumulated MinOperatorPairs of evidence.
+func (o OperatorStats) Selectivity() (float64, bool) {
+	if o.Pairs < MinOperatorPairs {
+		return 0, false
+	}
+	sel := float64(o.Outputs) / float64(o.Pairs)
+	return clampSelectivity(sel), true
+}
+
+// ActivityStats aggregates the observed match behavior of one activity's
+// atomic lookups (positive atoms only; negation inverts the denominator).
+type ActivityStats struct {
+	// Evals counts atomic lookups for the activity.
+	Evals uint64 `json:"evals"`
+	// Candidates is the index positions examined (pre-guard).
+	Candidates uint64 `json:"candidates"`
+	// Matches is the incidents kept (post-guard).
+	Matches uint64 `json:"matches"`
+}
+
+// GuardStats aggregates guard pass rates across all guarded positive atoms.
+type GuardStats struct {
+	// Candidates is the index positions examined by guarded atoms.
+	Candidates uint64 `json:"candidates"`
+	// Passed is the matches surviving every guard on their atom.
+	Passed uint64 `json:"passed"`
+	// GuardWeight is Σ candidates·guards, so GuardWeight/Candidates is the
+	// candidate-weighted mean number of guards per lookup — the exponent
+	// that turns the overall pass rate back into a per-guard selectivity.
+	GuardWeight uint64 `json:"guard_weight"`
+}
+
+// Selectivity returns the per-guard pass rate f^(1/ḡ) where f is the overall
+// pass fraction and ḡ the weighted mean guard count, or (0, false) without
+// MinGuardCandidates of evidence.
+func (g GuardStats) Selectivity() (float64, bool) {
+	if g.Candidates < MinGuardCandidates || g.GuardWeight == 0 {
+		return 0, false
+	}
+	f := float64(g.Passed) / float64(g.Candidates)
+	mean := float64(g.GuardWeight) / float64(g.Candidates)
+	if f <= 0 {
+		return minSelectivity, true
+	}
+	return clampSelectivity(math.Pow(f, 1/mean)), true
+}
+
+func clampSelectivity(sel float64) float64 {
+	if sel < minSelectivity || math.IsNaN(sel) {
+		return minSelectivity
+	}
+	if sel > maxSelectivity {
+		return maxSelectivity
+	}
+	return sel
+}
+
+// Snapshot is the serializable point-in-time state of a Registry — both the
+// persistence format and the /v1/logs observability surface.
+type Snapshot struct {
+	// Schema is SchemaVersion; Load rejects anything else.
+	Schema string `json:"schema"`
+	// Queries counts the complete metered queries folded in.
+	Queries uint64 `json:"queries"`
+	// Operators maps operator names (pattern.Op.Name) to their aggregates.
+	Operators map[string]OperatorStats `json:"operators,omitempty"`
+	// Activities maps activity names to their atomic lookup aggregates.
+	Activities map[string]ActivityStats `json:"activities,omitempty"`
+	// Guards aggregates guard pass rates across guarded atoms.
+	Guards GuardStats `json:"guards"`
+}
+
+// Registry accumulates evaluation statistics for one log. It implements
+// eval.MeterSink, so a finished Meter flushes into it directly. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	queries    uint64
+	operators  map[string]OperatorStats
+	activities map[string]ActivityStats
+	guards     GuardStats
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		operators:  make(map[string]OperatorStats),
+		activities: make(map[string]ActivityStats),
+	}
+}
+
+// ObserveMeter folds one complete metered evaluation into the registry,
+// implementing eval.MeterSink. Callers must only flush meters of successful,
+// complete queries (see the package comment); the registry cannot tell a
+// truncated run from a selective one.
+func (r *Registry) ObserveMeter(stats []eval.NodeStats) {
+	if r == nil || len(stats) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries++
+	for _, st := range stats {
+		if !st.Atom {
+			name := st.Op.Name()
+			agg := r.operators[name]
+			agg.Evals += st.Evals
+			agg.Pairs += st.Pairs
+			agg.Outputs += st.Outputs
+			agg.Comparisons += st.Comparisons
+			r.operators[name] = agg
+			continue
+		}
+		atom, ok := st.Node.(*pattern.Atom)
+		if !ok || atom.Negated {
+			// Negated atoms examine the complement; folding them into the
+			// positive match counts would corrupt both aggregates.
+			continue
+		}
+		act := r.activities[atom.Activity]
+		act.Evals += st.Evals
+		act.Candidates += st.Comparisons // atom comparisons = candidates examined
+		act.Matches += st.Outputs
+		r.activities[atom.Activity] = act
+		if g := len(atom.Guards); g > 0 {
+			r.guards.Candidates += st.Comparisons
+			r.guards.Passed += st.Outputs
+			r.guards.GuardWeight += st.Comparisons * uint64(g)
+		}
+	}
+}
+
+// Queries returns how many complete metered queries have been folded in.
+func (r *Registry) Queries() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.queries
+}
+
+// Selectivities derives the cost-model selectivities: measured values where
+// the evidence thresholds are met, the Theorem 2–5 era model constants
+// otherwise. Choice is never overridden — its output estimate is n1+n2
+// exactly, no constant to replace.
+func (r *Registry) Selectivities() rewrite.Selectivities {
+	sel := rewrite.ModelSelectivities()
+	if r == nil {
+		return sel
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v, ok := r.operators[pattern.OpConsecutive.Name()].Selectivity(); ok {
+		sel.Consecutive, sel.ConsecutiveSource = v, rewrite.SelectivityMeasured
+	}
+	if v, ok := r.operators[pattern.OpSequential.Name()].Selectivity(); ok {
+		sel.Sequential, sel.SequentialSource = v, rewrite.SelectivityMeasured
+	}
+	if v, ok := r.operators[pattern.OpParallel.Name()].Selectivity(); ok {
+		sel.Parallel, sel.ParallelSource = v, rewrite.SelectivityMeasured
+	}
+	if v, ok := r.guards.Selectivity(); ok {
+		sel.Guard, sel.GuardSource = v, rewrite.SelectivityMeasured
+	}
+	return sel
+}
+
+// Snapshot returns a deep copy of the registry's state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Schema: SchemaVersion}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap.Queries = r.queries
+	snap.Guards = r.guards
+	if len(r.operators) > 0 {
+		snap.Operators = make(map[string]OperatorStats, len(r.operators))
+		for k, v := range r.operators {
+			snap.Operators[k] = v
+		}
+	}
+	if len(r.activities) > 0 {
+		snap.Activities = make(map[string]ActivityStats, len(r.activities))
+		for k, v := range r.activities {
+			snap.Activities[k] = v
+		}
+	}
+	return snap
+}
+
+// restore replaces the registry's state from a snapshot.
+func (r *Registry) restore(snap Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries = snap.Queries
+	r.guards = snap.Guards
+	r.operators = make(map[string]OperatorStats, len(snap.Operators))
+	for k, v := range snap.Operators {
+		r.operators[k] = v
+	}
+	r.activities = make(map[string]ActivityStats, len(snap.Activities))
+	for k, v := range snap.Activities {
+		r.activities[k] = v
+	}
+}
+
+// Save writes the registry atomically to path: the snapshot is written to a
+// temp file in the same directory and renamed over the target, so a crash
+// mid-write can never leave a truncated snapshot for the next startup.
+func (r *Registry) Save(path string) error {
+	if r == nil {
+		return fmt.Errorf("stats: Save on nil registry")
+	}
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("stats: encode snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wlq-stats-*.tmp")
+	if err != nil {
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stats: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path. A missing file is not an error — it
+// returns an empty registry, the natural state before any query has run. A
+// present but unreadable or schema-mismatched file is an error: silently
+// discarding accumulated statistics would be a regression the operator
+// should hear about.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return New(), nil
+		}
+		return nil, fmt.Errorf("stats: load %s: %w", path, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("stats: load %s: %w", path, err)
+	}
+	if snap.Schema != SchemaVersion {
+		return nil, fmt.Errorf("stats: load %s: schema %q, want %q", path, snap.Schema, SchemaVersion)
+	}
+	r := New()
+	r.restore(snap)
+	return r, nil
+}
+
+// PathFor returns the default snapshot path for a log source spec: the log
+// path plus ".stats.json". Synthetic specs (the built-in example logs and
+// generators, which have no directory to sit next to) get no default path —
+// PathFor returns "" and the caller should treat statistics as in-memory
+// only unless an explicit path is configured.
+func PathFor(spec string) string {
+	if spec == "" || spec == "fig3" {
+		return ""
+	}
+	if strings.Contains(spec, ":") && !filepath.IsAbs(spec) {
+		// Generator specs like "clinic:1500" or "model:widgets".
+		return ""
+	}
+	return spec + ".stats.json"
+}
+
+// Summary renders a short human-readable account of the registry, used by
+// the CLI's verbose output. Operators appear in a stable order.
+func (r *Registry) Summary() string {
+	snap := r.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "queries observed: %d\n", snap.Queries)
+	names := make([]string, 0, len(snap.Operators))
+	for name := range snap.Operators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := snap.Operators[name]
+		if v, ok := op.Selectivity(); ok {
+			fmt.Fprintf(&sb, "%-12s pairs=%d outputs=%d selectivity=%.4g (measured)\n",
+				name, op.Pairs, op.Outputs, v)
+		} else {
+			fmt.Fprintf(&sb, "%-12s pairs=%d outputs=%d (below evidence threshold)\n",
+				name, op.Pairs, op.Outputs)
+		}
+	}
+	return sb.String()
+}

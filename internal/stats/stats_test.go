@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/pattern"
+	"wlq/internal/core/rewrite"
+	"wlq/internal/predicate"
+)
+
+// opStats builds one operator NodeStats for ObserveMeter.
+func opStats(op pattern.Op, pairs, outputs uint64) eval.NodeStats {
+	return eval.NodeStats{
+		Node:    &pattern.Binary{Op: op, Left: &pattern.Atom{Activity: "A"}, Right: &pattern.Atom{Activity: "B"}},
+		Op:      op,
+		Evals:   1,
+		Pairs:   pairs,
+		Outputs: outputs,
+	}
+}
+
+// atomStats builds one atom NodeStats; guards > 0 marks it guarded.
+func atomStats(activity string, candidates, matches uint64, guards int) eval.NodeStats {
+	return eval.NodeStats{
+		Node:        &pattern.Atom{Activity: activity, Guards: make([]predicate.Guard, guards)},
+		Atom:        true,
+		Evals:       1,
+		Comparisons: candidates,
+		Outputs:     matches,
+	}
+}
+
+func TestSelectivitiesBelowThresholdKeepModelConstants(t *testing.T) {
+	r := New()
+	// 63 pairs < MinOperatorPairs: no override.
+	r.ObserveMeter([]eval.NodeStats{opStats(pattern.OpSequential, MinOperatorPairs-1, 10)})
+	sel := r.Selectivities()
+	model := rewrite.ModelSelectivities()
+	if sel.Sequential != model.Sequential || sel.SequentialSource != rewrite.SelectivityAssumed {
+		t.Fatalf("below threshold: got %v/%s, want model constant %v/%s",
+			sel.Sequential, sel.SequentialSource, model.Sequential, rewrite.SelectivityAssumed)
+	}
+	if sel.Measured() {
+		t.Fatal("Measured() true with no measured source")
+	}
+}
+
+func TestSelectivitiesMeasuredAtThreshold(t *testing.T) {
+	r := New()
+	r.ObserveMeter([]eval.NodeStats{
+		opStats(pattern.OpSequential, 100, 90),
+		opStats(pattern.OpConsecutive, 200, 10),
+		opStats(pattern.OpParallel, 64, 32),
+	})
+	sel := r.Selectivities()
+	if sel.SequentialSource != rewrite.SelectivityMeasured || math.Abs(sel.Sequential-0.9) > 1e-9 {
+		t.Fatalf("sequential: got %v/%s, want 0.9/measured", sel.Sequential, sel.SequentialSource)
+	}
+	if sel.ConsecutiveSource != rewrite.SelectivityMeasured || math.Abs(sel.Consecutive-0.05) > 1e-9 {
+		t.Fatalf("consecutive: got %v/%s, want 0.05/measured", sel.Consecutive, sel.ConsecutiveSource)
+	}
+	if sel.ParallelSource != rewrite.SelectivityMeasured || math.Abs(sel.Parallel-0.5) > 1e-9 {
+		t.Fatalf("parallel: got %v/%s, want 0.5/measured", sel.Parallel, sel.ParallelSource)
+	}
+	if !sel.Measured() {
+		t.Fatal("Measured() false with measured sources")
+	}
+	if got := r.Queries(); got != 1 {
+		t.Fatalf("Queries() = %d, want 1", got)
+	}
+}
+
+func TestSelectivityClamps(t *testing.T) {
+	zero := OperatorStats{Pairs: 1000, Outputs: 0}
+	if v, ok := zero.Selectivity(); !ok || v != 1e-4 {
+		t.Fatalf("zero outputs: got %v/%v, want clamp to 1e-4", v, ok)
+	}
+	over := OperatorStats{Pairs: 100, Outputs: 500} // degenerate: outputs > pairs
+	if v, ok := over.Selectivity(); !ok || v != 1.0 {
+		t.Fatalf("outputs>pairs: got %v/%v, want clamp to 1.0", v, ok)
+	}
+}
+
+func TestChoiceNeverOverridden(t *testing.T) {
+	r := New()
+	r.ObserveMeter([]eval.NodeStats{opStats(pattern.OpChoice, 10_000, 10)})
+	sel := r.Selectivities()
+	// Choice has no selectivity constant: ForOp must keep reporting none.
+	if v, src := sel.ForOp(pattern.OpChoice); v != 0 || src != "" {
+		t.Fatalf("choice ForOp: got %v/%q, want 0/\"\"", v, src)
+	}
+}
+
+func TestGuardSelectivity(t *testing.T) {
+	r := New()
+	// 100 candidates through atoms carrying 2 guards each, 25 pass overall:
+	// f = 0.25, mean guards = 2, per-guard selectivity = sqrt(0.25) = 0.5.
+	r.ObserveMeter([]eval.NodeStats{atomStats("X", 100, 25, 2)})
+	sel := r.Selectivities()
+	if sel.GuardSource != rewrite.SelectivityMeasured || math.Abs(sel.Guard-0.5) > 1e-9 {
+		t.Fatalf("guard: got %v/%s, want 0.5/measured", sel.Guard, sel.GuardSource)
+	}
+}
+
+func TestGuardBelowThreshold(t *testing.T) {
+	r := New()
+	r.ObserveMeter([]eval.NodeStats{atomStats("X", MinGuardCandidates-1, 10, 1)})
+	sel := r.Selectivities()
+	if sel.GuardSource != rewrite.SelectivityAssumed {
+		t.Fatalf("guard below threshold: source %s, want assumed", sel.GuardSource)
+	}
+}
+
+func TestNegatedAtomsIgnored(t *testing.T) {
+	r := New()
+	st := eval.NodeStats{
+		Node:        &pattern.Atom{Activity: "X", Negated: true},
+		Atom:        true,
+		Evals:       1,
+		Comparisons: 500,
+		Outputs:     400,
+	}
+	r.ObserveMeter([]eval.NodeStats{st})
+	snap := r.Snapshot()
+	if len(snap.Activities) != 0 {
+		t.Fatalf("negated atom leaked into activities: %+v", snap.Activities)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.ObserveMeter([]eval.NodeStats{opStats(pattern.OpSequential, 100, 50)})
+	if r.Queries() != 0 {
+		t.Fatal("nil registry reported queries")
+	}
+	sel := r.Selectivities()
+	model := rewrite.ModelSelectivities()
+	if sel != model {
+		t.Fatalf("nil registry selectivities: got %+v, want model %+v", sel, model)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	r := New()
+	r.ObserveMeter([]eval.NodeStats{
+		opStats(pattern.OpSequential, 100, 90),
+		atomStats("SeeDoctor", 80, 40, 1),
+	})
+	path := filepath.Join(t.TempDir(), "log.stats.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Snapshot(), r.Snapshot(); got.Queries != want.Queries ||
+		got.Operators["sequential"] != want.Operators["sequential"] ||
+		got.Activities["SeeDoctor"] != want.Activities["SeeDoctor"] ||
+		got.Guards != want.Guards {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if loaded.Selectivities().SequentialSource != rewrite.SelectivityMeasured {
+		t.Fatal("loaded registry lost measured sequential selectivity")
+	}
+}
+
+func TestLoadMissingFileReturnsEmpty(t *testing.T) {
+	r, err := Load(filepath.Join(t.TempDir(), "nope.stats.json"))
+	if err != nil {
+		t.Fatalf("missing file should not error: %v", err)
+	}
+	if r.Queries() != 0 {
+		t.Fatal("missing file should yield empty registry")
+	}
+}
+
+func TestLoadRejectsCorruptAndWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil {
+		t.Fatal("corrupt snapshot should error")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"schema":"wlq-stats/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(wrong); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch should error, got %v", err)
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", ""},
+		{"fig3", ""},
+		{"clinic:1500:7", ""},
+		{"model:orders:100:1", ""},
+		{"referrals.jsonl", "referrals.jsonl.stats.json"},
+		{"/data/logs/big.jsonl", "/data/logs/big.jsonl.stats.json"},
+	}
+	for _, c := range cases {
+		if got := PathFor(c.spec); got != c.want {
+			t.Errorf("PathFor(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentObserveAndRead(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.ObserveMeter([]eval.NodeStats{opStats(pattern.OpSequential, 10, 5)})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = r.Selectivities()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Queries(); got != 800 {
+		t.Fatalf("Queries() = %d, want 800", got)
+	}
+}
