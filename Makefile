@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench bench-report bench-smoke experiments examples fuzz clean
+.PHONY: all build vet test test-race cover bench bench-report bench-smoke cluster-smoke experiments examples fuzz clean
 
 all: build vet test
 
@@ -47,6 +47,12 @@ bench-smoke:
 	$(GO) run ./cmd/wlq-bench -compare /tmp/wlq-bench-row.json,/tmp/wlq-bench-columnar.json
 	$(GO) run ./cmd/wlq-bench -compare /tmp/wlq-bench-row.json,/tmp/wlq-bench-row-adaptive.json
 	$(GO) run ./cmd/wlq-bench -compare /tmp/wlq-bench-row.json,/tmp/wlq-bench-columnar-adaptive.json
+
+# Multi-process cluster smoke: coordinator + 3 workers on loopback, one
+# killed mid-run (206 + completeness), rejoined (digest-equal 200). CI runs
+# this on every push.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Regenerate the EXPERIMENTS.md tables (E1-E12).
 experiments:

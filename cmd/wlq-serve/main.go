@@ -7,6 +7,13 @@
 //	wlq-serve -log referrals.jsonl
 //	wlq-serve -log clinic=clinic:2000:7 -log fig3=fig3 -addr :8080
 //	wlq-serve -log big.jsonl -workers 8 -cache 1024 -timeout 5s
+//	wlq-serve -log big.jsonl -worker -addr :9001                      (cluster worker)
+//	wlq-serve -log big.jsonl -cluster-workers http://w1:9001,http://w2:9002
+//	                                                                   (cluster coordinator)
+//
+// In cluster mode every node loads the same -log specs; the coordinator
+// places workflow instances on workers by consistent hash and fans each
+// query out to the owners (see docs/OPERATIONS.md, "Cluster deployment").
 //
 // Each -log flag (repeatable) is either a bare log specification — file
 // path, "fig3", "clinic:<instances>:<seed>", "model:<name>:<instances>:<seed>"
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"wlq"
+	"wlq/internal/cluster"
 	"wlq/internal/server"
 )
 
@@ -105,6 +113,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxCost = fs.Float64("max-predicted-cost", 0,
 			"pre-flight ceiling on the plan's Lemma 1 cost estimate; costlier queries are rejected with 422 before evaluation (0 disables)")
 
+		worker = fs.Bool("worker", false,
+			"serve as a cluster worker: expose POST /v1/worker/query evaluating coordinator-shipped plans against this node's ring-assigned wids")
+		clusterWorkers = fs.String("cluster-workers", "",
+			"comma-separated worker base URLs; non-empty runs this instance as a cluster coordinator fanning every query out to the fleet")
+		hashReplicas = fs.Int("hash-replicas", 0,
+			"virtual nodes per worker on the consistent-hash placement ring (0 = default 64; must match across the fleet)")
+		workerTimeout = fs.Duration("worker-timeout", 0,
+			"coordinator's per-attempt deadline for one worker request (0 = default 5s)")
+		workerAttempts = fs.Int("worker-attempts", 0,
+			"coordinator's request attempts per worker per query, first try included (0 = default 2)")
+		hedgeAfter = fs.Duration("hedge-after", 0,
+			"duplicate a worker request that has not answered within this delay and take the first response (0 disables hedging)")
+		probeInterval = fs.Duration("probe-interval", 0,
+			"coordinator's worker health-probe period feeding /readyz (0 = default 5s)")
+
 		shards = fs.Int("shards", 0,
 			"evaluate each query across this many isolated wid-range failure domains with per-shard retries and circuit breakers; a lost shard degrades the result instead of failing it (0 = off, negative = GOMAXPROCS)")
 		shardAttempts = fs.Int("shard-attempts", 0,
@@ -130,6 +153,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	// Cluster roles. The flag is validated here (server.New treats a bad
+	// cluster config as a programming error) so the operator gets a clean
+	// message, not a panic.
+	var clusterCfg *cluster.Config
+	if *clusterWorkers != "" {
+		urls := splitWorkers(*clusterWorkers)
+		seen := make(map[string]bool, len(urls))
+		for _, u := range urls {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return fmt.Errorf("-cluster-workers: %q is not an http(s) base URL", u)
+			}
+			if seen[u] {
+				return fmt.Errorf("-cluster-workers: duplicate worker %q", u)
+			}
+			seen[u] = true
+		}
+		if len(urls) == 0 {
+			return errors.New("-cluster-workers: no worker URLs")
+		}
+		clusterCfg = &cluster.Config{
+			Workers:       urls,
+			HashReplicas:  *hashReplicas,
+			WorkerTimeout: *workerTimeout,
+			MaxAttempts:   *workerAttempts,
+			HedgeAfter:    *hedgeAfter,
+			// The breaker flags tune whichever failure-domain tier is active:
+			// in-process shards on a single node, workers on a coordinator.
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		}
+	}
+
 	cfg := server.Config{
 		Workers:      *workers,
 		CacheSize:    *cache,
@@ -152,6 +207,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Columnar:         *columnar,
 		Adaptive:         *adaptive,
 		StatsFile:        *statsFile,
+		WorkerMode:       *worker,
+		Cluster:          clusterCfg,
+		ProbeInterval:    *probeInterval,
 	}
 	if *flightSize > 0 {
 		cfg.FlightRecorderSize = *flightSize
@@ -184,6 +242,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Coordinator role: probe the fleet in the background so /readyz reports
+	// lost workers without waiting for a query to trip a breaker.
+	if clusterCfg != nil {
+		fmt.Fprintf(out, "coordinating %d workers (hash replicas %d)\n",
+			len(clusterCfg.Workers), srv.Coordinator().Ring().Replicas())
+		srv.StartClusterProbing(ctx)
+	}
+	if *worker {
+		fmt.Fprintln(out, "worker mode: serving POST /v1/worker/query")
+	}
 
 	// SIGHUP triggers a hot reload of every log (same pass as POST
 	// /v1/reload): a log that fails to load or validate is quarantined and
@@ -242,6 +311,18 @@ func serve(ctx context.Context, addr string, drain time.Duration, h http.Handler
 		return err
 	}
 	return nil
+}
+
+// splitWorkers parses the comma-separated -cluster-workers list, trimming
+// whitespace and dropping empty elements (a trailing comma is not an error).
+func splitWorkers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimSuffix(part, "/"))
+		}
+	}
+	return out
 }
 
 // splitLogArg parses "<name>=<spec>" or a bare spec. Bare file paths are

@@ -1,0 +1,694 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/incident"
+	"wlq/internal/core/pattern"
+	"wlq/internal/obs"
+	"wlq/internal/resilience"
+	"wlq/internal/shard"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultWorkerTimeout bounds one worker request attempt.
+	DefaultWorkerTimeout = 5 * time.Second
+	// DefaultMaxAttempts is the request attempt cap per worker per query
+	// (1 initial try + retries). Networks fail transiently far more often
+	// than in-process evaluation does, but each retry holds the client's
+	// latency budget, so the default stays low.
+	DefaultMaxAttempts = 2
+	// DefaultProbeInterval paces the background worker health probes.
+	DefaultProbeInterval = 5 * time.Second
+)
+
+// Config tunes a coordinator. Workers is required; every other zero field
+// resolves to a sensible default.
+type Config struct {
+	// Workers are the worker base URLs (e.g. "http://10.0.0.7:8080"). The
+	// URLs are also the ring identities: placement depends on nothing else.
+	Workers []string
+	// HashReplicas is the virtual-node count per worker on the consistent
+	// hash ring (0 = DefaultHashReplicas).
+	HashReplicas int
+	// WorkerTimeout deadlines each worker request attempt
+	// (0 = DefaultWorkerTimeout).
+	WorkerTimeout time.Duration
+	// MaxAttempts caps request attempts per worker per query, the first try
+	// included (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// Backoff schedules the delay between a worker's attempts (zero value =
+	// shard backoff defaults: 10ms base, 2x growth, 1s cap, 20% jitter).
+	Backoff shard.Backoff
+	// BreakerThreshold opens a worker's circuit breaker after this many
+	// consecutive failed attempts (0 = shard.DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay
+	// (0 = shard.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// HedgeAfter, when positive, duplicates a worker request that has not
+	// answered within the delay and takes whichever response lands first —
+	// straggler insurance against a slow connection or a stalled accept
+	// queue. The hedge goes to the same worker (wids live on exactly one
+	// node), so it cannot help a node that is down, only one that is slow.
+	HedgeAfter time.Duration
+	// Transport is the HTTP transport for worker requests (nil =
+	// http.DefaultTransport). Chaos suites inject faultinject.FlakyRoundTripper
+	// here to fail, slow or blackhole exact requests without killing
+	// processes.
+	Transport http.RoundTripper
+	// Sleep waits between attempts (nil = time.Sleep); tests inject a
+	// recording no-op.
+	Sleep func(time.Duration)
+	// Rand draws the backoff jitter uniform in [0,1) (nil = math/rand).
+	Rand func() float64
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.HashReplicas <= 0 {
+		c.HashReplicas = DefaultHashReplicas
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = DefaultWorkerTimeout
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	return c
+}
+
+// workerState is one worker's long-lived coordinator-side state: the
+// circuit breaker accumulating failure history across queries, and the
+// latest health-probe verdict.
+type workerState struct {
+	name    string
+	breaker *shard.Breaker
+
+	mu       sync.Mutex
+	probed   bool // at least one probe has run
+	healthy  bool
+	probeErr string
+}
+
+// Stats is a snapshot of the coordinator's fan-out counters.
+type Stats struct {
+	// Fanouts counts distributed query executions.
+	Fanouts uint64 `json:"fanouts"`
+	// WorkerRequests counts HTTP requests issued to workers (hedges and
+	// retries included); WorkerFailures those that errored.
+	WorkerRequests uint64 `json:"worker_requests"`
+	WorkerFailures uint64 `json:"worker_failures"`
+	// WorkerRetries counts re-attempts after backoff.
+	WorkerRetries uint64 `json:"worker_retries"`
+	// Hedges counts duplicated straggler requests; HedgeWins those whose
+	// duplicate answered first.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// WorkersSkipped counts per-query worker exclusions by an open breaker.
+	WorkersSkipped uint64 `json:"workers_skipped"`
+}
+
+// Coordinator fans queries out to the worker fleet and merges the answers.
+// It is safe for concurrent use and meant to be long-lived: per-worker
+// breakers and health state persist across queries.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	client  *http.Client
+	workers []*workerState
+
+	fanouts        atomic.Uint64
+	workerRequests atomic.Uint64
+	workerFailures atomic.Uint64
+	workerRetries  atomic.Uint64
+	hedges         atomic.Uint64
+	hedgeWins      atomic.Uint64
+	workersSkipped atomic.Uint64
+}
+
+// New builds a coordinator over the configured workers.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		if w == "" {
+			return nil, errors.New("cluster: empty worker URL")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	workers := make([]*workerState, len(cfg.Workers))
+	for i, name := range cfg.Workers {
+		workers[i] = &workerState{
+			name:    name,
+			breaker: shard.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			healthy: true, // optimistic until a probe or request says otherwise
+		}
+	}
+	return &Coordinator{
+		cfg:  cfg,
+		ring: NewRing(cfg.Workers, cfg.HashReplicas),
+		// The per-attempt deadline rides the request context, not the
+		// client, so hedges and probes can choose their own.
+		client:  &http.Client{Transport: cfg.Transport},
+		workers: workers,
+	}, nil
+}
+
+// Ring returns the placement ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Stats snapshots the fan-out counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Fanouts:        c.fanouts.Load(),
+		WorkerRequests: c.workerRequests.Load(),
+		WorkerFailures: c.workerFailures.Load(),
+		WorkerRetries:  c.workerRetries.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		WorkersSkipped: c.workersSkipped.Load(),
+	}
+}
+
+// Fanout summarizes one distributed execution for the flight recorder and
+// the response-side accounting.
+type Fanout struct {
+	// Workers is the number of workers owning at least one wid this query.
+	Workers int `json:"workers"`
+	// Attempted counts workers that received at least one request; Succeeded
+	// those whose answer is in the merged result; Failed those excluded
+	// after exhausting attempts; Skipped those excluded by an open breaker.
+	Attempted int `json:"attempted"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Skipped   int `json:"skipped"`
+	// Hedged counts straggler requests duplicated; Retries re-attempts.
+	Hedged  int `json:"hedged"`
+	Retries int `json:"retries"`
+}
+
+// ExecOptions parameterizes one distributed execution.
+type ExecOptions struct {
+	// WIDs is the full ascending wid list of the log (the coordinator's
+	// local backend supplies it; placement partitions it over the ring).
+	WIDs []uint64
+	// Strategy optionally names the join implementation for the workers.
+	Strategy string
+	// Limit is the per-operator per-instance incident cap.
+	Limit int
+	// Budget is the whole query's budget; it is sliced per active worker.
+	Budget resilience.Budget
+}
+
+// workerResult is one worker's terminal outcome within a query.
+type workerResult struct {
+	incs      []incident.Incident
+	instances int
+	attempts  int
+	retries   int
+	hedges    int
+	hedgeWin  bool
+	err       error
+	skipped   bool
+}
+
+// Execute evaluates the plan across the worker fleet: each worker owning
+// wids gets one request (with retries, hedging and breaker admission) and
+// the surviving answers merge through incident.NewSet's normalization —
+// byte-identical to a single-node evaluation when every worker answers.
+//
+// The returned error is non-nil only when the whole query is lost (context
+// cancelled, or no worker produced an answer). Otherwise the Completeness
+// documents coverage exactly as the in-process executor does, with each
+// excluded worker's wid set named by envelope and exact ranges.
+func (c *Coordinator) Execute(ctx context.Context, logName string, plan pattern.Node, opts ExecOptions, qs *eval.QueryStats) (*incident.Set, *shard.Completeness, Fanout, error) {
+	c.fanouts.Add(1)
+	assignments := c.ring.Assignments(opts.WIDs)
+	// Active workers: those owning at least one wid. Idle workers are not
+	// contacted and not counted as shards.
+	type active struct {
+		wi   int
+		wids []uint64
+	}
+	var fleet []active
+	for wi, wids := range assignments {
+		if len(wids) > 0 {
+			fleet = append(fleet, active{wi: wi, wids: wids})
+		}
+	}
+	comp := &shard.Completeness{Shards: len(fleet)}
+	fan := Fanout{Workers: len(fleet)}
+	if len(fleet) == 0 {
+		comp.Complete = true
+		if qs != nil {
+			qs.Workers = 1
+		}
+		return &incident.Set{}, comp, fan, nil
+	}
+
+	req := WorkerQueryRequest{
+		Log:      logName,
+		Plan:     plan.String(),
+		Ring:     c.ring.Workers(),
+		Replicas: c.ring.Replicas(),
+		Strategy: opts.Strategy,
+		Limit:    opts.Limit,
+		Budget:   ToBudgetDoc(opts.Budget.Slice(len(fleet))),
+	}
+
+	tr := obs.FromContext(ctx)
+	results := make([]workerResult, len(fleet))
+	var wg sync.WaitGroup
+	for i, a := range fleet {
+		wg.Add(1)
+		go func(i int, a active) {
+			defer wg.Done()
+			results[i] = c.runWorker(ctx, tr, a.wi, req, len(a.wids))
+		}(i, a)
+	}
+	wg.Wait()
+
+	var (
+		merged    []incident.Incident
+		firstErr  error
+		instances int
+	)
+	for i, r := range results {
+		a := fleet[i]
+		comp.Retries += r.retries
+		fan.Retries += r.retries
+		fan.Hedged += r.hedges
+		switch {
+		case r.skipped:
+			comp.Skipped++
+			fan.Skipped++
+			comp.ExcludedWIDs += len(a.wids)
+			comp.Failures = append(comp.Failures, c.outcome(a.wi, a.wids, r))
+		case r.err != nil:
+			comp.Attempted++
+			fan.Attempted++
+			comp.Failed++
+			fan.Failed++
+			comp.ExcludedWIDs += len(a.wids)
+			comp.Failures = append(comp.Failures, c.outcome(a.wi, a.wids, r))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("worker %s: %w", c.workers[a.wi].name, r.err)
+			}
+		default:
+			comp.Attempted++
+			fan.Attempted++
+			comp.Succeeded++
+			fan.Succeeded++
+			merged = append(merged, r.incs...)
+			instances += r.instances
+		}
+	}
+	comp.Complete = comp.Succeeded == comp.Shards
+	if qs != nil {
+		qs.Workers = len(fleet)
+		qs.Shards = len(fleet)
+		qs.ShardsFailed = comp.Failed + comp.Skipped
+		qs.ShardRetries = comp.Retries
+		qs.Instances += instances
+		qs.Incidents += len(merged)
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, comp, fan, err
+	}
+	if comp.Succeeded == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("all %d workers skipped by open circuit breakers", comp.Shards)
+		}
+		return nil, comp, fan, firstErr
+	}
+	// Consistent hashing scatters wids across workers, so the concatenation
+	// is interleaved; NewSet performs the real merge (normalize + sort),
+	// exactly as the in-process executor does under PolicyHash.
+	return incident.NewSet(merged...), comp, fan, nil
+}
+
+// runWorker drives one worker through breaker admission, the retry loop and
+// hedging.
+func (c *Coordinator) runWorker(ctx context.Context, tr *obs.Trace, wi int, req WorkerQueryRequest, assigned int) workerResult {
+	w := c.workers[wi]
+	if !w.breaker.Allow() {
+		c.workersSkipped.Add(1)
+		return workerResult{
+			skipped: true,
+			err:     fmt.Errorf("circuit breaker open for worker %s", w.name),
+		}
+	}
+	req.Self = w.name
+	body, err := json.Marshal(req)
+	if err != nil {
+		return workerResult{attempts: 1, err: fmt.Errorf("encode worker request: %w", err)}
+	}
+	var res workerResult
+	for attempt := 1; ; attempt++ {
+		res.attempts = attempt
+		sp := tr.StartSpan(fmt.Sprintf("worker %s attempt %d", w.name, attempt))
+		sp.SetAttr("wids", assigned)
+
+		resp, hedged, hedgeWon, err := c.call(ctx, w.name, body)
+		if hedged {
+			res.hedges++
+			sp.SetAttr("hedged", true)
+		}
+		if hedgeWon {
+			res.hedgeWin = true
+		}
+		if err == nil && resp.WIDsOwned != assigned {
+			// The worker's ring view disagrees with ours: merging its answer
+			// would silently mis-cover the log. Deterministic, so never retried.
+			err = nonRetryable(fmt.Errorf(
+				"ring mismatch: worker evaluated %d wids, coordinator assigned %d (membership or replica skew)",
+				resp.WIDsOwned, assigned))
+			resp = nil
+		}
+		if err == nil {
+			sp.SetAttr("incidents", len(resp.Incidents))
+			sp.End()
+			w.breaker.Success()
+			res.incs = ToIncidents(resp.Incidents)
+			res.instances = resp.Instances
+			res.err = nil
+			return res
+		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		res.err = err
+		// The parent context dying is not a worker fault: don't trip the
+		// breaker for it, and don't retry into a cancelled query.
+		if ctx.Err() != nil {
+			return res
+		}
+		w.breaker.Failure()
+		if !retryableErr(err) || attempt >= c.cfg.MaxAttempts || !w.breaker.Allow() {
+			return res
+		}
+		res.retries++
+		c.workerRetries.Add(1)
+		c.cfg.Sleep(c.cfg.Backoff.Delay(attempt, c.cfg.Rand()))
+	}
+}
+
+// call performs one attempt against a worker: the primary request, plus —
+// when HedgeAfter is set and the primary has not answered in time — one
+// duplicate, with whichever lands first winning. The per-attempt timeout
+// covers primary and hedge together.
+func (c *Coordinator) call(ctx context.Context, worker string, body []byte) (resp *WorkerQueryResponse, hedged, hedgeWon bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
+	defer cancel()
+
+	type result struct {
+		resp  *WorkerQueryResponse
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(isHedge bool) {
+		go func() {
+			r, err := c.post(actx, worker, body)
+			ch <- result{resp: r, err: err, hedge: isHedge}
+		}()
+	}
+	launch(false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(c.cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					hedgeWon = true
+					c.hedgeWins.Add(1)
+				}
+				return r.resp, hedged, hedgeWon, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, hedged, false, firstErr
+			}
+			// The other request (hedge or primary) is still out; wait for it.
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			c.hedges.Add(1)
+			outstanding++
+			launch(true)
+		}
+	}
+}
+
+// post issues one HTTP request to a worker and decodes the reply.
+func (c *Coordinator) post(ctx context.Context, worker string, body []byte) (*WorkerQueryResponse, error) {
+	c.workerRequests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(worker, "/")+"/v1/worker/query", bytes.NewReader(body))
+	if err != nil {
+		c.workerFailures.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.client.Do(req)
+	if err != nil {
+		c.workerFailures.Add(1)
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		c.workerFailures.Add(1)
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 64<<10))
+		var ed WorkerErrorDoc
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &ed) == nil && ed.Error != "" {
+			msg = ed.Error
+		}
+		return nil, &WorkerHTTPError{Status: httpResp.StatusCode, Msg: msg}
+	}
+	var wr WorkerQueryResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&wr); err != nil {
+		c.workerFailures.Add(1)
+		return nil, fmt.Errorf("decode worker response: %w", err)
+	}
+	return &wr, nil
+}
+
+// outcome renders one excluded worker's ShardOutcome. The envelope bounds
+// the scattered owned set; Ranges names the exact runs when compact enough.
+func (c *Coordinator) outcome(wi int, wids []uint64, r workerResult) shard.ShardOutcome {
+	return shard.ShardOutcome{
+		Shard:    wi,
+		WIDMin:   wids[0],
+		WIDMax:   wids[len(wids)-1],
+		WIDs:     len(wids),
+		Attempts: r.attempts,
+		Cause:    r.err.Error(),
+		Skipped:  r.skipped,
+		Worker:   c.workers[wi].name,
+		Ranges:   shard.RangesOf(wids),
+	}
+}
+
+// WorkerHTTPError is a worker reply with a non-200 status.
+type WorkerHTTPError struct {
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *WorkerHTTPError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.Status, e.Msg)
+}
+
+// nonRetryableError marks a deterministic failure the retry loop must not
+// re-attempt.
+type nonRetryableError struct{ err error }
+
+func (e *nonRetryableError) Error() string { return e.err.Error() }
+func (e *nonRetryableError) Unwrap() error { return e.err }
+
+func nonRetryable(err error) error { return &nonRetryableError{err: err} }
+
+// retryableErr classifies a worker attempt failure. Transport-level errors
+// (refused, reset, attempt timeout) and 5xx/429 replies are transient and
+// worth a backed-off retry; 4xx replies and ring mismatches are
+// deterministic — the same request would fail the same way.
+func retryableErr(err error) bool {
+	var nr *nonRetryableError
+	if errors.As(err, &nr) {
+		return false
+	}
+	var he *WorkerHTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500 || he.Status == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// WorkerHealth is one worker's live status for /readyz and metrics.
+type WorkerHealth struct {
+	// Worker is the worker's base URL.
+	Worker string `json:"worker"`
+	// Healthy is the latest probe verdict (true before any probe has run —
+	// optimistic, so a coordinator without probing does not report a
+	// healthy fleet as lost).
+	Healthy bool `json:"healthy"`
+	// Breaker is the worker's circuit-breaker state: closed, open, half-open.
+	Breaker string `json:"breaker"`
+	// Error is the latest probe failure, when unhealthy.
+	Error string `json:"error,omitempty"`
+}
+
+// Health snapshots every worker's probe verdict and breaker state.
+func (c *Coordinator) Health() []WorkerHealth {
+	out := make([]WorkerHealth, len(c.workers))
+	for i, w := range c.workers {
+		w.mu.Lock()
+		out[i] = WorkerHealth{
+			Worker:  w.name,
+			Healthy: w.healthy,
+			Breaker: w.breaker.State().String(),
+			Error:   w.probeErr,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Lost lists workers currently considered lost: probe-unhealthy, or with a
+// not-closed circuit breaker. Feeds degraded readiness.
+func (c *Coordinator) Lost() []string {
+	var lost []string
+	for _, w := range c.workers {
+		w.mu.Lock()
+		unhealthy := w.probed && !w.healthy
+		w.mu.Unlock()
+		if unhealthy || w.breaker.State() != shard.BreakerClosed {
+			lost = append(lost, w.name)
+		}
+	}
+	return lost
+}
+
+// OpenBreakers counts workers whose breaker is not closed.
+func (c *Coordinator) OpenBreakers() int {
+	open := 0
+	for _, w := range c.workers {
+		if w.breaker.State() != shard.BreakerClosed {
+			open++
+		}
+	}
+	return open
+}
+
+// ProbeOnce health-checks every worker (GET /healthz, bounded by the worker
+// timeout) and records the verdicts. It returns the healthy count. Exposed
+// separately from StartProbing so tests and callers can probe
+// deterministically.
+func (c *Coordinator) ProbeOnce(ctx context.Context) int {
+	var wg sync.WaitGroup
+	healthy := atomic.Int32{}
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			err := c.probe(ctx, w.name)
+			w.mu.Lock()
+			w.probed = true
+			w.healthy = err == nil
+			if err != nil {
+				w.probeErr = err.Error()
+			} else {
+				w.probeErr = ""
+				healthy.Add(1)
+			}
+			w.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return int(healthy.Load())
+}
+
+// probe is one GET /healthz round trip.
+func (c *Coordinator) probe(ctx context.Context, worker string) error {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet,
+		strings.TrimSuffix(worker, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// StartProbing launches the background probe loop at the given interval
+// (<= 0 means DefaultProbeInterval) until ctx is cancelled.
+func (c *Coordinator) StartProbing(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.ProbeOnce(ctx)
+			}
+		}
+	}()
+}

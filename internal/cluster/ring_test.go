@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func testWIDs(n int) []uint64 {
+	wids := make([]uint64, n)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	return wids
+}
+
+func TestClusterRingDeterministicAcrossProcessesAndOrder(t *testing.T) {
+	wids := testWIDs(500)
+	a := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 64)
+	// A second ring built independently (a worker's view) must agree wid for
+	// wid — that property IS the wire protocol.
+	b := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 64)
+	// Membership order must not matter, only the names.
+	c := NewRing([]string{"http://w3", "http://w1", "http://w2"}, 64)
+	for _, wid := range wids {
+		oa, ob, oc := a.Owner(wid), b.Owner(wid), c.Owner(wid)
+		if a.Workers()[oa] != b.Workers()[ob] {
+			t.Fatalf("wid %d: ring views disagree: %s vs %s", wid, a.Workers()[oa], b.Workers()[ob])
+		}
+		if a.Workers()[oa] != c.Workers()[oc] {
+			t.Fatalf("wid %d: permuted membership moved the wid: %s vs %s",
+				wid, a.Workers()[oa], c.Workers()[oc])
+		}
+	}
+}
+
+func TestClusterRingAssignmentsPartition(t *testing.T) {
+	wids := testWIDs(300)
+	r := NewRing([]string{"http://w1", "http://w2", "http://w3", "http://w4"}, 0)
+	asn := r.Assignments(wids)
+	if len(asn) != 4 {
+		t.Fatalf("assignments for %d workers, want 4", len(asn))
+	}
+	seen := make(map[uint64]int)
+	for wi, part := range asn {
+		prev := uint64(0)
+		for _, wid := range part {
+			if wid <= prev {
+				t.Fatalf("worker %d assignment not ascending: %v", wi, part)
+			}
+			prev = wid
+			seen[wid]++
+		}
+		// OwnedWIDs (the worker's self-derivation) must equal the
+		// coordinator's assignment exactly.
+		if owned := r.OwnedWIDs(wids, wi); !reflect.DeepEqual(owned, part) {
+			t.Fatalf("worker %d: OwnedWIDs %v != Assignments %v", wi, owned, part)
+		}
+	}
+	if len(seen) != len(wids) {
+		t.Fatalf("%d wids assigned, want %d (every wid exactly once)", len(seen), len(wids))
+	}
+	for wid, n := range seen {
+		if n != 1 {
+			t.Fatalf("wid %d assigned %d times", wid, n)
+		}
+	}
+}
+
+func TestClusterRingSpreadsLoad(t *testing.T) {
+	// With default replicas, no worker of a 4-node fleet should own a wildly
+	// disproportionate share of 1000 wids. The bound is loose on purpose:
+	// the test guards against a broken hash (everything on one node), not
+	// distributional perfection.
+	r := NewRing([]string{"http://w1", "http://w2", "http://w3", "http://w4"}, 0)
+	asn := r.Assignments(testWIDs(1000))
+	for wi, part := range asn {
+		if len(part) < 50 || len(part) > 600 {
+			t.Fatalf("worker %d owns %d of 1000 wids — hash not spreading", wi, len(part))
+		}
+	}
+}
+
+func TestClusterRingEmptyAndUnknown(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Owner(7); got != -1 {
+		t.Fatalf("empty ring Owner = %d, want -1", got)
+	}
+	r = NewRing([]string{"http://w1"}, 8)
+	if got := r.WorkerIndex("http://nope"); got != -1 {
+		t.Fatalf("WorkerIndex(unknown) = %d, want -1", got)
+	}
+	if got := r.Owner(42); got != 0 {
+		t.Fatalf("single-worker ring Owner = %d, want 0", got)
+	}
+}
+
+func TestClusterRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&WorkerHTTPError{Status: http.StatusInternalServerError}, true},
+		{&WorkerHTTPError{Status: http.StatusBadGateway}, true},
+		{&WorkerHTTPError{Status: http.StatusGatewayTimeout}, true},
+		{&WorkerHTTPError{Status: http.StatusTooManyRequests}, true},
+		// Deterministic replies: retrying re-fails identically.
+		{&WorkerHTTPError{Status: http.StatusBadRequest}, false},
+		{&WorkerHTTPError{Status: http.StatusNotFound}, false},
+		{&WorkerHTTPError{Status: http.StatusUnprocessableEntity}, false},
+		{nonRetryable(errors.New("ring mismatch")), false},
+		// Transport-level failures are transient by default.
+		{errors.New("connection refused"), true},
+		{fmt.Errorf("wrapped: %w", &WorkerHTTPError{Status: 503}), true},
+		{fmt.Errorf("wrapped: %w", nonRetryable(errors.New("x"))), false},
+	}
+	for _, tc := range cases {
+		if got := retryableErr(tc.err); got != tc.want {
+			t.Errorf("retryableErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClusterNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no workers succeeded")
+	}
+	if _, err := New(Config{Workers: []string{"http://w1", "http://w1"}}); err == nil {
+		t.Fatal("New with duplicate workers succeeded")
+	}
+	if _, err := New(Config{Workers: []string{"http://w1", ""}}); err == nil {
+		t.Fatal("New with empty worker URL succeeded")
+	}
+	c, err := New(Config{Workers: []string{"http://w1", "http://w2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Ring().Workers()); got != 2 {
+		t.Fatalf("ring has %d workers, want 2", got)
+	}
+	if c.Ring().Replicas() != DefaultHashReplicas {
+		t.Fatalf("replicas = %d, want default %d", c.Ring().Replicas(), DefaultHashReplicas)
+	}
+}

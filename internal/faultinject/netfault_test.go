@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok:"+r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFaultFlakyRoundTripperFailOn(t *testing.T) {
+	srv := okServer(t)
+	client := &http.Client{Transport: &FlakyRoundTripper{FailOn: OnNthCall(1)}}
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first request error = %v, want ErrInjected", err)
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request status %d", resp.StatusCode)
+	}
+}
+
+func TestFaultFlakyRoundTripperMatchScoping(t *testing.T) {
+	a, b := okServer(t), okServer(t)
+	// Fault scoped to server b: a's requests must not consume the ordinal.
+	client := &http.Client{Transport: &FlakyRoundTripper{Match: b.URL, FailOn: OnNthCall(1)}}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(a.URL)
+		if err != nil {
+			t.Fatalf("unmatched request %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := client.Get(b.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched request error = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultFlakyRoundTripperBlackhole(t *testing.T) {
+	srv := okServer(t)
+	client := &http.Client{Transport: &FlakyRoundTripper{BlackholeOn: OnNthCall(1)}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed request error = %v, want deadline", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("blackholed request returned before the context deadline")
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-blackhole request: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestFaultFlakyRoundTripperReroute(t *testing.T) {
+	a := okServer(t)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "impostor:"+r.URL.Path)
+	}))
+	defer b.Close()
+	client := &http.Client{Transport: &FlakyRoundTripper{Match: a.URL, RerouteTo: b.URL}}
+	resp, err := client.Get(a.URL + "/v1/thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := string(body); got != "impostor:/v1/thing" {
+		t.Fatalf("rerouted body = %q (path must be preserved)", got)
+	}
+}
+
+func TestFaultHangableListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl := NewHangableListener(ln)
+	srv := &httptest.Server{
+		Listener: hl,
+		Config:   &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "up") })},
+	}
+	srv.Start()
+	defer srv.Close()
+
+	// Fresh connection per request: a pooled conn created pre-Hang would
+	// bypass nothing (reads are gated per-Read), but keep it deterministic.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	get := func(timeout time.Duration) (string, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	if body, err := get(time.Second); err != nil || body != "up" {
+		t.Fatalf("healthy request = %q, %v", body, err)
+	}
+
+	hl.Hang()
+	if _, err := get(30 * time.Millisecond); err == nil {
+		t.Fatal("request against hung listener succeeded")
+	} else if !strings.Contains(err.Error(), "deadline") && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung request error = %v, want client deadline", err)
+	}
+
+	hl.Resume()
+	if body, err := get(time.Second); err != nil || body != "up" {
+		t.Fatalf("post-resume request = %q, %v", body, err)
+	}
+
+	// Close while hung must not strand blocked readers.
+	hl.Hang()
+	done := make(chan error, 1)
+	go func() {
+		_, err := get(5 * time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the hung Read
+	hl.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("request against closed listener succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock a hung request")
+	}
+}

@@ -85,6 +85,26 @@ type Capture struct {
 	Trace *obs.QueryTrace `json:"trace,omitempty"`
 	// Completeness reports shard coverage for sharded executions.
 	Completeness *shard.Completeness `json:"completeness,omitempty"`
+	// Workers summarizes the cluster fan-out for distributed executions
+	// (nil for local ones).
+	Workers *WorkerSummary `json:"workers,omitempty"`
+}
+
+// WorkerSummary is the distributed fan-out of one capture: how many workers
+// the query scattered to and how each fared. Mirrors cluster.Fanout without
+// importing it (flightrec stays a leaf below the cluster tier).
+type WorkerSummary struct {
+	// Workers is the number of workers owning wids this query.
+	Workers int `json:"workers"`
+	// Attempted/Succeeded/Failed/Skipped count workers by terminal outcome
+	// (Skipped = excluded by an open circuit breaker without a request).
+	Attempted int `json:"attempted"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed,omitempty"`
+	Skipped   int `json:"skipped,omitempty"`
+	// Hedged counts duplicated straggler requests; Retries re-attempts.
+	Hedged  int `json:"hedged,omitempty"`
+	Retries int `json:"retries,omitempty"`
 }
 
 // Notable reports whether the capture earns a slot in the notable ring:

@@ -71,6 +71,29 @@ func (b Budget) IsZero() bool {
 		b.MaxWallTime == 0 && b.MaxResultBytes == 0
 }
 
+// Slice divides the budget's work dimensions evenly across n concurrent
+// failure domains (in-process shards, or cluster workers), rounding up so n
+// slices always cover the whole budget. Wall time is NOT divided: the
+// domains run concurrently, so each inherits the full wall-clock allowance.
+// n <= 1 returns the budget unchanged.
+func (b Budget) Slice(n int) Budget {
+	if n <= 1 {
+		return b
+	}
+	div := func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		return (v + uint64(n) - 1) / uint64(n)
+	}
+	return Budget{
+		MaxComparisons: div(b.MaxComparisons),
+		MaxOutputs:     div(b.MaxOutputs),
+		MaxWallTime:    b.MaxWallTime,
+		MaxResultBytes: div(b.MaxResultBytes),
+	}
+}
+
 // ErrBudgetExceeded is the sentinel all budget aborts wrap; callers match
 // with errors.Is and inspect the dimension via errors.As on *BudgetError.
 var ErrBudgetExceeded = errors.New("query budget exceeded")

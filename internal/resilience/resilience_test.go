@@ -163,3 +163,37 @@ func ExampleBudget() {
 	fmt.Println(b.IsZero())
 	// Output: false
 }
+
+func TestBudgetSlice(t *testing.T) {
+	b := Budget{
+		MaxComparisons: 10, MaxOutputs: 7, MaxResultBytes: 3,
+		MaxWallTime: 2 * time.Second,
+	}
+	s := b.Slice(3)
+	// Work dimensions divide ceil-wise: the shards together may do slightly
+	// MORE than the original budget, never less — a query that fit on one
+	// node must not be rejected just because it was distributed.
+	if s.MaxComparisons != 4 || s.MaxOutputs != 3 || s.MaxResultBytes != 1 {
+		t.Fatalf("Slice(3) work dims = %d/%d/%d, want 4/3/1",
+			s.MaxComparisons, s.MaxOutputs, s.MaxResultBytes)
+	}
+	// Wall time is shared, not divided: shards run concurrently.
+	if s.MaxWallTime != b.MaxWallTime {
+		t.Fatalf("Slice(3) wall time = %v, want %v", s.MaxWallTime, b.MaxWallTime)
+	}
+	if got := b.Slice(1); got != b {
+		t.Fatalf("Slice(1) = %+v, want unchanged", got)
+	}
+	if got := b.Slice(0); got != b {
+		t.Fatalf("Slice(0) = %+v, want unchanged", got)
+	}
+	// Unset (zero) dimensions stay unlimited.
+	partial := Budget{MaxOutputs: 5}
+	if s := partial.Slice(2); s.MaxComparisons != 0 || s.MaxOutputs != 3 {
+		t.Fatalf("Slice(2) of partial budget = %+v", s)
+	}
+	var zero Budget
+	if s := zero.Slice(4); !s.IsZero() {
+		t.Fatalf("Slice of zero budget = %+v, want zero", s)
+	}
+}

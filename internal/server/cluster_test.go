@@ -1,0 +1,745 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wlq/internal/cluster"
+	"wlq/internal/faultinject"
+	"wlq/internal/flightrec"
+	"wlq/internal/gen"
+	"wlq/internal/resilience"
+	"wlq/internal/shard"
+	"wlq/internal/wlog"
+)
+
+// Distributed chaos and equivalence suite. Workers are real worker-mode
+// Servers behind real loopback listeners (the coordinator speaks HTTP, not
+// handlers), so every fault here — a killed process, a flaky transport, a
+// blackholed request — exercises the same code paths production does. Part
+// of the CI chaos step: `go test -race -run 'Chaos|Fault|Shard|Cluster' ./...`.
+
+// startWorker serves l under the given name on a worker-mode Server bound to
+// a real loopback address.
+func startWorker(t *testing.T, name string, l *wlog.Log) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{WorkerMode: true, FlightRecorderSize: -1})
+	if err := s.AddLog(name, "builtin:"+name, l); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// clusterFixture is a coordinator over n in-process workers, all serving the
+// same log under the same name.
+type clusterFixture struct {
+	coord   *Server
+	workers []*httptest.Server
+	wsrv    []*Server
+	urls    []string
+}
+
+// newClusterFixture builds the fleet. mut, when non-nil, adjusts the
+// coordinator's cluster config (transport faults, hedging, attempt caps)
+// after the worker URLs are filled in; coordMut adjusts the coordinator's
+// server config. Backoff sleeps are disabled by default — chaos tests
+// assert behavior, not wall-clock delays.
+func newClusterFixture(t *testing.T, n int, name string, l *wlog.Log, mut func(*cluster.Config), coordMut func(*Config)) *clusterFixture {
+	t.Helper()
+	f := &clusterFixture{}
+	for i := 0; i < n; i++ {
+		s, ts := startWorker(t, name, l)
+		f.wsrv = append(f.wsrv, s)
+		f.workers = append(f.workers, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	ccfg := cluster.Config{
+		Workers: f.urls,
+		Sleep:   func(time.Duration) {},
+	}
+	if mut != nil {
+		mut(&ccfg)
+	}
+	cfg := Config{Cluster: &ccfg, ProbeInterval: -1}
+	if coordMut != nil {
+		coordMut(&cfg)
+	}
+	f.coord = New(cfg)
+	if err := f.coord.AddLog(name, "builtin:"+name, l); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The 13-query operator matrix from the cross-backend equivalence suite
+// (internal/colstore), here driven end to end over HTTP against 1, 2 and 4
+// workers: distribution must be a physical switch, never a semantic one.
+var clusterEquivalenceQueries = []string{
+	"Act00 . Act01",
+	"Act00 -> Act02",
+	"Act01 | Act03",
+	"Act00 & Act01",
+	"(Act00 . Act01) -> Act02",
+	"(Act00 -> Act01) | (Act00 -> Act02)",
+	"(Act00 | Act01) & Act02",
+	"Act00 -> (Act01 & (Act02 | Act03))",
+	"!Act00 . Act01",
+	"Act00 -> NoSuchActivity",
+	"!NoSuchActivity & Act01",
+	"START . Act00",
+	"Act00 -> END",
+}
+
+func clusterEquivalenceLogs() map[string]*wlog.Log {
+	return map[string]*wlog.Log{
+		"uniform": gen.MustRandomLog(gen.LogParams{
+			Instances: 40, MeanLength: 20, Seed: 11,
+		}),
+		"skewed": gen.MustRandomLog(gen.LogParams{
+			Instances: 25, MeanLength: 30, Skew: 1.3, CompleteFraction: 0.6, Seed: 23,
+		}),
+	}
+}
+
+// pickVictim returns the worker owning the most wids and its assignment.
+// Worker URLs carry random test ports, so placement differs run to run: the
+// victim must be chosen from the live ring, not hardcoded. At least one
+// OTHER worker must own wids too, so the victim's loss degrades the query
+// instead of destroying it; with vnode replication a layout violating that
+// is vanishingly rare, but random, so it skips rather than flakes.
+func pickVictim(t *testing.T, ring *cluster.Ring, wids []uint64) (int, []uint64) {
+	t.Helper()
+	asn := ring.Assignments(wids)
+	victim, owners := -1, 0
+	for i, part := range asn {
+		if len(part) == 0 {
+			continue
+		}
+		owners++
+		if victim == -1 || len(part) > len(asn[victim]) {
+			victim = i
+		}
+	}
+	if victim < 0 || owners < 2 {
+		t.Skipf("degenerate ring layout: only %d workers own wids", owners)
+	}
+	return victim, asn[victim]
+}
+
+// heaviestOwner returns the worker URL owning the most of wids 1..16 on the
+// default ring — a transport fault must target a worker the coordinator
+// will actually contact.
+func heaviestOwner(workers []string) string {
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	asn := cluster.NewRing(workers, 0).Assignments(wids)
+	best := 0
+	for i := range asn {
+		if len(asn[i]) > len(asn[best]) {
+			best = i
+		}
+	}
+	return workers[best]
+}
+
+// digestOf reduces a 200 response to the fields that define the answer.
+func digestOf(resp queryResponse) string {
+	b, _ := json.Marshal(struct {
+		Count     int           `json:"count"`
+		Incidents []incidentDoc `json:"incidents"`
+	}{resp.Count, resp.Incidents})
+	return string(b)
+}
+
+func TestClusterEquivalence(t *testing.T) {
+	for logName, l := range clusterEquivalenceLogs() {
+		// The single-node truth every fleet size must reproduce exactly.
+		baseline := New(Config{})
+		if err := baseline.AddLog("eq", "builtin:eq", l); err != nil {
+			t.Fatal(err)
+		}
+		bh := baseline.Handler()
+		for _, workers := range []int{1, 2, 4} {
+			f := newClusterFixture(t, workers, "eq", l, nil, nil)
+			ch := f.coord.Handler()
+			for _, q := range clusterEquivalenceQueries {
+				for _, noOpt := range []bool{false, true} {
+					name := fmt.Sprintf("%s/%dw/%s/no_optimize=%v", logName, workers, q, noOpt)
+					body := fmt.Sprintf(`{"log":"eq","query":%q,"no_optimize":%v}`, q, noOpt)
+					var want, got queryResponse
+					if rec := postQuery(t, bh, body, &want); rec.Code != http.StatusOK {
+						t.Fatalf("%s: baseline status %d: %s", name, rec.Code, rec.Body)
+					}
+					rec := postQuery(t, ch, body, &got)
+					if rec.Code != http.StatusOK {
+						t.Fatalf("%s: cluster status %d: %s", name, rec.Code, rec.Body)
+					}
+					if digestOf(got) != digestOf(want) {
+						t.Fatalf("%s: cluster answer diverges from single-node\n cluster: %s\n  single: %s",
+							name, digestOf(got), digestOf(want))
+					}
+					if got.Completeness == nil || !got.Completeness.Complete {
+						t.Fatalf("%s: healthy cluster result not marked complete: %+v", name, got.Completeness)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterEquivalenceColumnarWorkers crosses the distribution axis with
+// the storage axis: a fleet whose workers run the columnar backend must
+// still match the single-node row backend bit for bit.
+func TestClusterEquivalenceColumnarWorkers(t *testing.T) {
+	l := clusterEquivalenceLogs()["uniform"]
+	baseline := New(Config{})
+	if err := baseline.AddLog("eq", "builtin:eq", l); err != nil {
+		t.Fatal(err)
+	}
+	var f clusterFixture
+	for i := 0; i < 2; i++ {
+		s := New(Config{WorkerMode: true, FlightRecorderSize: -1, Columnar: true})
+		if err := s.AddLog("eq", "builtin:eq", l); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		f.urls = append(f.urls, ts.URL)
+	}
+	coord := New(Config{Cluster: &cluster.Config{Workers: f.urls}, ProbeInterval: -1})
+	if err := coord.AddLog("eq", "builtin:eq", l); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range clusterEquivalenceQueries {
+		body := fmt.Sprintf(`{"log":"eq","query":%q}`, q)
+		var want, got queryResponse
+		postQuery(t, baseline.Handler(), body, &want)
+		if rec := postQuery(t, coord.Handler(), body, &got); rec.Code != http.StatusOK {
+			t.Fatalf("%q: status %d: %s", q, rec.Code, rec.Body)
+		}
+		if digestOf(got) != digestOf(want) {
+			t.Fatalf("%q: columnar fleet diverges from row single-node", q)
+		}
+	}
+}
+
+// TestClusterChaosWorkerKilledAcceptance is the tier's acceptance walk: 4
+// workers, one killed → 206 naming exactly the lost wid ranges, degraded
+// /readyz, an open breaker in the metrics; after the worker rejoins at the
+// same address, the same query answers 200, digest-equal to the healthy run.
+func TestClusterChaosWorkerKilledAcceptance(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	// The coordinator cache is off: the healthy run would otherwise cache
+	// the complete answer and the post-kill query would (correctly, but
+	// uninterestingly) hit it instead of exercising the degraded fan-out.
+	f := newClusterFixture(t, 4, "chaos", l, func(c *cluster.Config) {
+		c.MaxAttempts = 1
+		c.BreakerThreshold = 1
+		c.WorkerTimeout = 2 * time.Second
+	}, func(c *Config) { c.CacheSize = -1 })
+	h := f.coord.Handler()
+	const query = `{"log":"chaos","query":"A -> B","partial":true}`
+
+	var healthy queryResponse
+	if rec := postQuery(t, h, query, &healthy); rec.Code != http.StatusOK {
+		t.Fatalf("healthy fleet status %d: %s", rec.Code, rec.Body)
+	}
+	if healthy.Completeness == nil || !healthy.Completeness.Complete || healthy.Count == 0 {
+		t.Fatalf("healthy fleet result incomplete: %+v", healthy.Completeness)
+	}
+
+	// The ring is deterministic given the membership, so the victim's loss
+	// is predictable down to the wid: these are exactly the ranges the
+	// completeness must name.
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	ring := f.coord.Coordinator().Ring()
+	victimIdx, assigned := pickVictim(t, ring, wids)
+	victim := f.urls[victimIdx]
+	activeShards := 0
+	for _, part := range ring.Assignments(wids) {
+		if len(part) > 0 {
+			activeShards++
+		}
+	}
+	lost := make(map[uint64]bool)
+	for _, wid := range assigned {
+		lost[wid] = true
+	}
+
+	f.workers[victimIdx].CloseClientConnections()
+	f.workers[victimIdx].Close()
+
+	var partial queryResponse
+	rec := postQuery(t, h, query, nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("killed-worker status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	c := partial.Completeness
+	if c == nil || c.Complete || c.Shards != activeShards || c.Succeeded != activeShards-1 || c.Failed != 1 {
+		t.Fatalf("completeness = %+v, want %d of %d shards with 1 failed", c, activeShards-1, activeShards)
+	}
+	if c.ExcludedWIDs != len(assigned) {
+		t.Fatalf("excluded %d wids, want the victim's %d", c.ExcludedWIDs, len(assigned))
+	}
+	if len(c.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly the victim", c.Failures)
+	}
+	fo := c.Failures[0]
+	if fo.Worker != victim {
+		t.Fatalf("failure names worker %q, want victim %q", fo.Worker, victim)
+	}
+	if fo.WIDMin != assigned[0] || fo.WIDMax != assigned[len(assigned)-1] || fo.WIDs != len(assigned) {
+		t.Fatalf("failure envelope %d–%d (%d wids), want %d–%d (%d)",
+			fo.WIDMin, fo.WIDMax, fo.WIDs, assigned[0], assigned[len(assigned)-1], len(assigned))
+	}
+	if want := shard.RangesOf(assigned); !reflect.DeepEqual(fo.Ranges, want) {
+		t.Fatalf("failure ranges %v, want exactly the lost runs %v", fo.Ranges, want)
+	}
+	for _, inc := range partial.Incidents {
+		if lost[inc.WID] {
+			t.Fatalf("incident from the lost wid set leaked into the partial result: %+v", inc)
+		}
+	}
+
+	// Strict mode refuses the same degraded answer.
+	if rec := postQuery(t, h, `{"log":"chaos","query":"A -> B"}`, nil); rec.Code != http.StatusBadGateway {
+		t.Fatalf("strict status %d, want 502: %s", rec.Code, rec.Body)
+	}
+
+	// The loss is observable before the next query: the probe marks the
+	// worker lost on /readyz, and the breaker (threshold 1) shows open in
+	// the prometheus exposition.
+	f.coord.Coordinator().ProbeOnce(context.Background())
+	var ready map[string]any
+	getJSON(t, h, "/readyz", &ready)
+	if ready["status"] != "degraded" {
+		t.Fatalf("readyz status %v, want degraded", ready["status"])
+	}
+	lostList, _ := ready["workers_lost"].([]any)
+	foundVictim := false
+	for _, w := range lostList {
+		if w == victim {
+			foundVictim = true
+		}
+	}
+	if !foundVictim {
+		t.Fatalf("readyz workers_lost %v does not name the victim %s", lostList, victim)
+	}
+	promRec := getJSON(t, h, "/metrics?format=prometheus", nil)
+	if want := fmt.Sprintf("wlq_cluster_worker_breaker_open{worker=%q} 1", victim); !strings.Contains(promRec.Body.String(), want) {
+		t.Fatalf("prometheus exposition missing %q", want)
+	}
+
+	// Rejoin: a fresh worker process on the SAME address (same ring
+	// identity), plus a clock jump past the breaker cooldown so the
+	// half-open probe admits it.
+	addr := strings.TrimPrefix(victim, "http://")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind victim address %s: %v", addr, err)
+	}
+	revived := &httptest.Server{Listener: ln, Config: &http.Server{Handler: f.wsrv[victimIdx].Handler()}}
+	revived.Start()
+	t.Cleanup(revived.Close)
+	resilience.SetClock(func() time.Time { return time.Now().Add(time.Hour) })
+	defer resilience.SetClock(nil)
+
+	var healed queryResponse
+	if rec := postQuery(t, h, query, &healed); rec.Code != http.StatusOK {
+		t.Fatalf("post-rejoin status %d: %s", rec.Code, rec.Body)
+	}
+	if digestOf(healed) != digestOf(healthy) {
+		t.Fatalf("post-rejoin answer diverges from the healthy run\n healed: %s\nhealthy: %s",
+			digestOf(healed), digestOf(healthy))
+	}
+	if healed.Cached {
+		t.Fatal("post-rejoin answer came from the cache: the partial result was cached")
+	}
+	f.coord.Coordinator().ProbeOnce(context.Background())
+	ready = nil
+	getJSON(t, h, "/readyz", &ready)
+	if ready["status"] != "ready" {
+		t.Fatalf("post-rejoin readyz status %v, want ready", ready["status"])
+	}
+}
+
+// TestClusterChaosPartialResultNeverCached extends the cache-safety
+// regression to the distributed path: a 206 assembled from a degraded fleet
+// must never be served from the cache once the fleet heals.
+func TestClusterChaosPartialResultNeverCached(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		c.MaxAttempts = 1 // keep the breaker (default threshold) out of the picture
+		c.WorkerTimeout = 2 * time.Second
+	}, nil)
+	h := f.coord.Handler()
+	const query = `{"log":"chaos","query":"A -> B","partial":true}`
+
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	victim, _ := pickVictim(t, f.coord.Coordinator().Ring(), wids)
+	f.workers[victim].CloseClientConnections()
+	f.workers[victim].Close()
+
+	var partial queryResponse
+	rec := postQuery(t, h, query, nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	if f.coord.cache.len() != 0 {
+		t.Fatalf("partial cluster result entered the cache (%d entries)", f.coord.cache.len())
+	}
+
+	// Heal the fleet: rebind the victim's address.
+	addr := strings.TrimPrefix(f.urls[victim], "http://")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	revived := &httptest.Server{Listener: ln, Config: &http.Server{Handler: f.wsrv[victim].Handler()}}
+	revived.Start()
+	t.Cleanup(revived.Close)
+
+	var healed queryResponse
+	if rec := postQuery(t, h, query, &healed); rec.Code != http.StatusOK {
+		t.Fatalf("post-heal status %d: %s", rec.Code, rec.Body)
+	}
+	if healed.Cached {
+		t.Fatal("post-heal response claims a cache hit: the 206 was cached")
+	}
+	if healed.Partial || healed.Count <= partial.Count {
+		t.Fatalf("post-heal result not complete: partial=%v count=%d (was %d)",
+			healed.Partial, healed.Count, partial.Count)
+	}
+	// And the other direction: the complete answer IS cached.
+	var again queryResponse
+	postQuery(t, h, query, &again)
+	if !again.Cached {
+		t.Fatal("complete post-heal result was not cached")
+	}
+}
+
+// TestClusterFaultTransportErrorRetried: a single transport-level failure
+// (connection reset) is transient; the retry loop absorbs it and the client
+// sees a complete 200.
+func TestClusterFaultTransportErrorRetried(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	var flaky faultinject.FlakyRoundTripper
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		flaky = faultinject.FlakyRoundTripper{Match: heaviestOwner(c.Workers), FailOn: faultinject.OnNthCall(1)}
+		c.Transport = &flaky
+		c.MaxAttempts = 2
+	}, nil)
+	var resp queryResponse
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B"}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retry: %s", rec.Code, rec.Body)
+	}
+	if resp.Completeness == nil || !resp.Completeness.Complete {
+		t.Fatalf("retried result not complete: %+v", resp.Completeness)
+	}
+	if got := f.coord.Coordinator().Stats().WorkerRetries; got != 1 {
+		t.Fatalf("worker retries = %d, want exactly 1", got)
+	}
+	if resp.Completeness.Retries != 1 {
+		t.Fatalf("completeness retries = %d, want 1", resp.Completeness.Retries)
+	}
+}
+
+// TestClusterFaultHedgedRequestRescuesStraggler: a blackholed primary (the
+// request goes out, nothing comes back) is rescued by the hedge without
+// waiting for the attempt timeout.
+func TestClusterFaultHedgedRequestRescuesStraggler(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	var flaky faultinject.FlakyRoundTripper
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		flaky = faultinject.FlakyRoundTripper{Match: heaviestOwner(c.Workers), BlackholeOn: faultinject.OnNthCall(1)}
+		c.Transport = &flaky
+		c.HedgeAfter = 10 * time.Millisecond
+		c.WorkerTimeout = 30 * time.Second // the hedge, not the timeout, must end the wait
+	}, nil)
+	start := time.Now()
+	var resp queryResponse
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B"}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via hedge: %s", rec.Code, rec.Body)
+	}
+	if resp.Completeness == nil || !resp.Completeness.Complete {
+		t.Fatalf("hedged result not complete: %+v", resp.Completeness)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hedge did not rescue the straggler: query took %v", elapsed)
+	}
+	st := f.coord.Coordinator().Stats()
+	if st.Hedges < 1 || st.HedgeWins < 1 {
+		t.Fatalf("hedges=%d hedge_wins=%d, want at least one winning hedge", st.Hedges, st.HedgeWins)
+	}
+}
+
+// TestClusterFaultStaleWorkerDetected: a worker serving an outdated copy of
+// the log derives a different owned-wid set than the coordinator assigned.
+// Merging its answer would silently mis-cover the log, so the ring
+// cross-check must exclude it — deterministically, without retries.
+func TestClusterFaultStaleWorkerDetected(t *testing.T) {
+	fresh := chaosLog(t, 16, 2)
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+
+	// Build the fleet first to learn the victim's assignment, then pick a
+	// stale log size whose victim-owned count provably differs from it.
+	f := newClusterFixture(t, 2, "chaos", fresh, func(c *cluster.Config) {
+		c.MaxAttempts = 2 // the mismatch must NOT be retried even though attempts remain
+	}, nil)
+	ring := f.coord.Coordinator().Ring()
+	victimIdx, assigned := pickVictim(t, ring, wids)
+	assignedCount := len(assigned)
+	staleSize := 0
+	for j := 1; j < 16; j++ {
+		if len(ring.OwnedWIDs(wids[:j], victimIdx)) != assignedCount {
+			staleSize = j
+			break
+		}
+	}
+	if staleSize == 0 {
+		t.Fatal("fixture: no stale log size produces a detectable skew")
+	}
+
+	// Swap the victim's backing server for one serving the stale log at the
+	// same URL (same ring identity — membership did not change, data did).
+	staleSrv := New(Config{WorkerMode: true, FlightRecorderSize: -1})
+	if err := staleSrv.AddLog("chaos", "builtin:stale", chaosLog(t, staleSize, 2)); err != nil {
+		t.Fatal(err)
+	}
+	addr := strings.TrimPrefix(f.urls[victimIdx], "http://")
+	f.workers[victimIdx].CloseClientConnections()
+	f.workers[victimIdx].Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	stale := &httptest.Server{Listener: ln, Config: &http.Server{Handler: staleSrv.Handler()}}
+	stale.Start()
+	t.Cleanup(stale.Close)
+
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B","partial":true}`, nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("stale-worker status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	c := resp.Completeness
+	if c == nil || c.Failed != 1 || len(c.Failures) != 1 {
+		t.Fatalf("completeness = %+v, want the stale worker excluded", c)
+	}
+	if cause := c.Failures[0].Cause; !strings.Contains(cause, "ring mismatch") {
+		t.Fatalf("failure cause %q does not name the ring mismatch", cause)
+	}
+	// Deterministic failure: one attempt, no retries burned on it.
+	if got := f.coord.Coordinator().Stats().WorkerRetries; got != 0 {
+		t.Fatalf("stale worker was retried %d times; mismatches are deterministic", got)
+	}
+}
+
+// TestClusterWorkerEndpoint covers the worker side in isolation: owned-wid
+// evaluation with the echoed count, and each rejection class.
+func TestClusterWorkerEndpoint(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	s, _ := startWorker(t, "chaos", l)
+	h := s.Handler()
+	const self = "http://w1"
+	ring := []string{self, "http://w2"}
+
+	post := func(t *testing.T, req cluster.WorkerQueryRequest) *httptest.ResponseRecorder {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := httptest.NewRequest(http.MethodPost, "/v1/worker/query", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		return rec
+	}
+	base := cluster.WorkerQueryRequest{
+		Log: "chaos", Plan: "A -> B", Ring: ring, Replicas: 64, Self: self,
+	}
+
+	t.Run("evaluates exactly the owned wids", func(t *testing.T) {
+		rec := post(t, base)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp cluster.WorkerQueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		wids := make([]uint64, 16)
+		for i := range wids {
+			wids[i] = uint64(i + 1)
+		}
+		owned := cluster.NewRing(ring, 64).OwnedWIDs(wids, 0)
+		if resp.WIDsOwned != len(owned) {
+			t.Fatalf("WIDsOwned = %d, want %d", resp.WIDsOwned, len(owned))
+		}
+		ownedSet := make(map[uint64]bool)
+		for _, wid := range owned {
+			ownedSet[wid] = true
+		}
+		if len(resp.Incidents) == 0 {
+			t.Fatal("no incidents from the owned wids (A -> B matches every instance)")
+		}
+		for _, inc := range resp.Incidents {
+			if !ownedSet[inc.WID] {
+				t.Fatalf("incident from unowned wid %d", inc.WID)
+			}
+		}
+	})
+	t.Run("unknown log is 404", func(t *testing.T) {
+		req := base
+		req.Log = "nope"
+		if rec := post(t, req); rec.Code != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", rec.Code)
+		}
+	})
+	t.Run("self outside the ring is 400", func(t *testing.T) {
+		req := base
+		req.Self = "http://intruder"
+		if rec := post(t, req); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", rec.Code)
+		}
+	})
+	t.Run("malformed plan is 400", func(t *testing.T) {
+		req := base
+		req.Plan = "A -> ("
+		if rec := post(t, req); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", rec.Code)
+		}
+	})
+	t.Run("budget abort is 422 with the dimension", func(t *testing.T) {
+		req := base
+		req.Budget = cluster.BudgetDoc{MaxComparisons: 1}
+		rec := post(t, req)
+		if rec.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("status %d, want 422: %s", rec.Code, rec.Body)
+		}
+		var ed cluster.WorkerErrorDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &ed); err != nil {
+			t.Fatal(err)
+		}
+		if ed.BudgetDimension != resilience.DimComparisons {
+			t.Fatalf("budget dimension %q, want %q", ed.BudgetDimension, resilience.DimComparisons)
+		}
+	})
+	t.Run("worker endpoint absent outside worker mode", func(t *testing.T) {
+		plain := newTestServer(t, Config{})
+		r := httptest.NewRequest(http.MethodPost, "/v1/worker/query", strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		plain.Handler().ServeHTTP(rec, r)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("status %d, want 404 on a non-worker server", rec.Code)
+		}
+	})
+}
+
+// TestClusterFlightRecorderWorkersField: coordinator captures carry the
+// fan-out summary, so a flight of a degraded query shows which workers
+// answered.
+func TestClusterFlightRecorderWorkersField(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, nil, nil)
+	if rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B"}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	flights := f.coord.flight.List(flightrec.Filter{})
+	if len(flights) != 1 {
+		t.Fatalf("%d flights recorded, want 1", len(flights))
+	}
+	ws := flights[0].Workers
+	if ws == nil {
+		t.Fatal("capture has no workers summary on a cluster coordinator")
+	}
+	// Placement over random test ports decides how many of the 2 workers own
+	// wids; whatever that is, every active worker must have succeeded.
+	if ws.Workers < 1 || ws.Succeeded != ws.Workers || ws.Failed != 0 || ws.Skipped != 0 {
+		t.Fatalf("workers summary = %+v, want every active worker succeeded", ws)
+	}
+}
+
+// TestClusterMetrics: the JSON and prometheus metrics carry the cluster
+// section with the right role on each side of the tier.
+func TestClusterMetrics(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, nil, nil)
+	postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B"}`, nil)
+
+	var doc metricsDoc
+	getJSON(t, f.coord.Handler(), "/metrics", &doc)
+	if doc.Cluster == nil {
+		t.Fatal("coordinator metrics missing the cluster section")
+	}
+	if doc.Cluster.Role != "coordinator" || doc.Cluster.Workers != 2 {
+		t.Fatalf("coordinator cluster section = %+v", doc.Cluster)
+	}
+	if doc.Cluster.ClusterQueries != 1 || doc.Cluster.Fanouts != 1 || doc.Cluster.WorkerRequests < 1 {
+		t.Fatalf("coordinator counters = queries=%d fanouts=%d requests=%d, want 1/1/>=1",
+			doc.Cluster.ClusterQueries, doc.Cluster.Fanouts, doc.Cluster.WorkerRequests)
+	}
+	promBody := getJSON(t, f.coord.Handler(), "/metrics?format=prometheus", nil).Body.String()
+	for _, family := range []string{
+		"wlq_cluster_workers 2",
+		"wlq_cluster_queries_total 1",
+		"wlq_cluster_worker_requests_total",
+		"wlq_cluster_worker_breaker_open",
+	} {
+		if !strings.Contains(promBody, family) {
+			t.Errorf("coordinator prometheus exposition missing %q", family)
+		}
+	}
+
+	// The worker side, read from the one guaranteed to have been contacted.
+	served := 0
+	for i, u := range f.urls {
+		if u == heaviestOwner(f.urls) {
+			served = i
+		}
+	}
+	var wdoc metricsDoc
+	getJSON(t, f.wsrv[served].Handler(), "/metrics", &wdoc)
+	if wdoc.Cluster == nil || wdoc.Cluster.Role != "worker" {
+		t.Fatalf("worker cluster section = %+v, want role worker", wdoc.Cluster)
+	}
+	if wdoc.Cluster.WorkerQueriesServed == 0 {
+		t.Fatal("worker served no queries according to its metrics")
+	}
+	wprom := getJSON(t, f.wsrv[served].Handler(), "/metrics?format=prometheus", nil).Body.String()
+	if !strings.Contains(wprom, "wlq_worker_queries_total") {
+		t.Error("worker prometheus exposition missing wlq_worker_queries_total")
+	}
+}

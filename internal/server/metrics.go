@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wlq/internal/cluster"
 	"wlq/internal/core/eval"
 	"wlq/internal/core/pattern"
 	"wlq/internal/flightrec"
@@ -61,6 +62,15 @@ type metrics struct {
 	shardsSkipped  atomic.Uint64
 	partialResults atomic.Uint64
 	widsExcluded   atomic.Uint64
+
+	// Cluster counters. clusterQueries counts queries fanned out by the
+	// coordinator (the fan-out detail — requests, retries, hedges, skips —
+	// lives on cluster.Coordinator and is merged in at scrape time);
+	// workerQueries/workerQueryErrors count this instance's served worker-
+	// mode requests.
+	clusterQueries    atomic.Uint64
+	workerQueries     atomic.Uint64
+	workerQueryErrors atomic.Uint64
 
 	// Per-operator totals, indexed by pattern.Op (1..4), folded in from
 	// each evaluated query's eval.Meter: the measured record-level
@@ -234,13 +244,16 @@ type metricsDoc struct {
 	PartialResults     uint64  `json:"partial_results"`
 	WIDsExcluded       uint64  `json:"wids_excluded"`
 	BreakersOpen       int     `json:"breakers_open"`
-	AdmissionCapacity  int     `json:"admission_capacity"`
-	AdmissionInFlight  int     `json:"admission_in_flight"`
-	InflightQueries    int64   `json:"inflight_queries"`
-	WorkersPerQuery    int     `json:"workers_per_query"`
-	BusyWorkers        int64   `json:"busy_workers"`
-	WorkerCapacity     int     `json:"worker_capacity"`
-	WorkerUtilization  float64 `json:"worker_utilization"`
+	// Cluster is the distributed-tier section (nil on a single-node server
+	// that is not in worker mode).
+	Cluster           *clusterMetricsDoc `json:"cluster,omitempty"`
+	AdmissionCapacity int                `json:"admission_capacity"`
+	AdmissionInFlight int                `json:"admission_in_flight"`
+	InflightQueries   int64              `json:"inflight_queries"`
+	WorkersPerQuery   int                `json:"workers_per_query"`
+	BusyWorkers       int64              `json:"busy_workers"`
+	WorkerCapacity    int                `json:"worker_capacity"`
+	WorkerUtilization float64            `json:"worker_utilization"`
 	// Flight-recorder gauges: captures recorded over the service lifetime
 	// and captures currently resident in the rings.
 	FlightCaptured uint64 `json:"flightrec_captured"`
@@ -257,11 +270,78 @@ type metricsDoc struct {
 	OperatorOutputs     map[string]uint64 `json:"operator_outputs"`
 }
 
+// clusterMetricsDoc is the distributed-tier section of the metrics
+// document: coordinator-side fan-out counters (merged from
+// cluster.Coordinator.Stats at scrape time) and worker-side served-request
+// counters.
+type clusterMetricsDoc struct {
+	// Role is "coordinator", "worker", or "coordinator+worker".
+	Role string `json:"role"`
+	// Workers is the configured fleet size; WorkersLost the workers
+	// currently probe-unhealthy or breaker-tripped; WorkerBreakersOpen the
+	// count of not-closed per-worker breakers.
+	Workers            int      `json:"workers,omitempty"`
+	WorkersLost        []string `json:"workers_lost,omitempty"`
+	WorkerBreakersOpen int      `json:"worker_breakers_open"`
+	// ClusterQueries counts queries fanned out; the remaining coordinator
+	// counters mirror cluster.Stats.
+	ClusterQueries uint64 `json:"cluster_queries"`
+	Fanouts        uint64 `json:"fanouts"`
+	WorkerRequests uint64 `json:"worker_requests"`
+	WorkerFailures uint64 `json:"worker_failures"`
+	WorkerRetries  uint64 `json:"worker_retries"`
+	Hedges         uint64 `json:"hedges"`
+	HedgeWins      uint64 `json:"hedge_wins"`
+	WorkersSkipped uint64 `json:"workers_skipped"`
+	// WorkerHealth is each worker's probe verdict and breaker state.
+	WorkerHealth []cluster.WorkerHealth `json:"worker_health,omitempty"`
+	// WorkerQueriesServed/WorkerQueryErrors count worker-mode requests this
+	// instance served (and failed) as an upstream.
+	WorkerQueriesServed uint64 `json:"worker_queries_served"`
+	WorkerQueryErrors   uint64 `json:"worker_query_errors"`
+}
+
+// clusterMetrics assembles the cluster section, or nil when this instance
+// is neither coordinator nor worker.
+func (s *Server) clusterMetrics() *clusterMetricsDoc {
+	if s.coord == nil && !s.cfg.WorkerMode {
+		return nil
+	}
+	doc := &clusterMetricsDoc{
+		ClusterQueries:      s.metrics.clusterQueries.Load(),
+		WorkerQueriesServed: s.metrics.workerQueries.Load(),
+		WorkerQueryErrors:   s.metrics.workerQueryErrors.Load(),
+	}
+	switch {
+	case s.coord != nil && s.cfg.WorkerMode:
+		doc.Role = "coordinator+worker"
+	case s.coord != nil:
+		doc.Role = "coordinator"
+	default:
+		doc.Role = "worker"
+	}
+	if s.coord != nil {
+		st := s.coord.Stats()
+		doc.Workers = len(s.coord.Ring().Workers())
+		doc.WorkersLost = s.coord.Lost()
+		doc.WorkerBreakersOpen = s.coord.OpenBreakers()
+		doc.Fanouts = st.Fanouts
+		doc.WorkerRequests = st.WorkerRequests
+		doc.WorkerFailures = st.WorkerFailures
+		doc.WorkerRetries = st.WorkerRetries
+		doc.Hedges = st.Hedges
+		doc.HedgeWins = st.HedgeWins
+		doc.WorkersSkipped = st.WorkersSkipped
+		doc.WorkerHealth = s.coord.Health()
+	}
+	return doc
+}
+
 // snapshot assembles the metrics document. workersPerQuery is the resolved
 // per-query worker count; breakersOpen is the live count of not-closed
 // per-shard circuit breakers; logs, cache and admission supply their own
-// gauges.
-func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission, flight *flightrec.Recorder, backend string) metricsDoc {
+// gauges; cl is the cluster section (nil off-cluster).
+func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission, flight *flightrec.Recorder, backend string, cl *clusterMetricsDoc) metricsDoc {
 	count, p50, p95, p99, max := m.lat.percentiles()
 	capacity := runtime.GOMAXPROCS(0)
 	busy := m.busyWorkers.Load()
@@ -299,6 +379,7 @@ func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpe
 		PartialResults:      m.partialResults.Load(),
 		WIDsExcluded:        m.widsExcluded.Load(),
 		BreakersOpen:        breakersOpen,
+		Cluster:             cl,
 		AdmissionCapacity:   adm.Capacity(),
 		AdmissionInFlight:   adm.InFlight(),
 		InflightQueries:     m.inflight.Load(),

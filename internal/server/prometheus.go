@@ -40,7 +40,7 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	s.mu.RLock()
 	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
-	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission, s.flight, s.backendName())
+	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -130,6 +130,48 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		counter(doc.AdaptivePlans)...)
 	writeFamily(w, "wlq_static_plans_total", "Plans ranked with the static model constants.", "counter",
 		counter(doc.StaticPlans)...)
+
+	// Cluster tier: coordinator fan-out counters and per-worker breaker
+	// state, plus the worker-mode served-request counters. Emitted only on
+	// cluster members so single-node scrapes stay compact.
+	if cl := doc.Cluster; cl != nil {
+		writeFamily(w, "wlq_cluster_workers", "Workers in the configured fleet.", "gauge",
+			gauge(float64(cl.Workers))...)
+		writeFamily(w, "wlq_cluster_workers_lost", "Workers currently probe-unhealthy or breaker-tripped.", "gauge",
+			gauge(float64(len(cl.WorkersLost)))...)
+		writeFamily(w, "wlq_cluster_queries_total", "Queries fanned out across the worker fleet.", "counter",
+			counter(cl.ClusterQueries)...)
+		writeFamily(w, "wlq_cluster_worker_requests_total", "HTTP requests issued to workers (retries and hedges included).", "counter",
+			counter(cl.WorkerRequests)...)
+		writeFamily(w, "wlq_cluster_worker_failures_total", "Worker requests that failed (transport error or non-200).", "counter",
+			counter(cl.WorkerFailures)...)
+		writeFamily(w, "wlq_cluster_worker_retries_total", "Worker request re-attempts (after backoff).", "counter",
+			counter(cl.WorkerRetries)...)
+		writeFamily(w, "wlq_cluster_hedges_total", "Straggler worker requests duplicated (hedging).", "counter",
+			counter(cl.Hedges)...)
+		writeFamily(w, "wlq_cluster_hedge_wins_total", "Hedged requests whose duplicate answered first.", "counter",
+			counter(cl.HedgeWins)...)
+		writeFamily(w, "wlq_cluster_workers_skipped_total", "Per-query worker exclusions by an open circuit breaker.", "counter",
+			counter(cl.WorkersSkipped)...)
+		if len(cl.WorkerHealth) > 0 {
+			breakers := make([]promSample, 0, len(cl.WorkerHealth))
+			for _, wh := range cl.WorkerHealth {
+				v := "0"
+				if wh.Breaker != "closed" {
+					v = "1"
+				}
+				breakers = append(breakers, promSample{
+					labels: `{worker="` + wh.Worker + `"}`, value: v,
+				})
+			}
+			writeFamily(w, "wlq_cluster_worker_breaker_open",
+				"Per-worker circuit breaker state (1 = open or half-open).", "gauge", breakers...)
+		}
+		writeFamily(w, "wlq_worker_queries_total", "Worker-mode requests served by this instance.", "counter",
+			counter(cl.WorkerQueriesServed)...)
+		writeFamily(w, "wlq_worker_query_errors_total", "Worker-mode requests this instance failed.", "counter",
+			counter(cl.WorkerQueryErrors)...)
+	}
 
 	// Per-operator Lemma 1 accounting, labeled by operator name.
 	ops := []string{"consecutive", "sequential", "choice", "parallel"}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"wlq/internal/cluster"
 	"wlq/internal/colstore"
 	"wlq/internal/core/eval"
 	"wlq/internal/core/incident"
@@ -133,6 +134,22 @@ type Config struct {
 	// (slow or failed) ones. 0 means DefaultFlightRecorderSize; negative
 	// disables the recorder (and its GET /v1/queries endpoints).
 	FlightRecorderSize int
+	// WorkerMode serves the cluster worker endpoint (POST /v1/worker/query):
+	// this instance evaluates coordinator-shipped plans against the wid set
+	// its ring view assigns it. Worker traffic bypasses rewrite, caching and
+	// the flight recorder — the coordinator owns the query lifecycle.
+	WorkerMode bool
+	// Cluster, when non-nil, runs this server as a cluster coordinator:
+	// every query fans out over HTTP to the configured workers and the
+	// answers merge through the same completeness contract as in-process
+	// shards. Takes precedence over Shards (the network tier IS the shard
+	// tier then). Set it via cmd/wlq-serve's -workers flag or directly in
+	// tests; cluster.Config.Transport is the fault-injection seam.
+	Cluster *cluster.Config
+	// ProbeInterval paces the coordinator's background worker health probes
+	// (0 = cluster.DefaultProbeInterval; negative disables probing, for
+	// tests that drive ProbeOnce deterministically).
+	ProbeInterval time.Duration
 	// Adaptive enables the measured-selectivity cost model: each log gets a
 	// statistics registry fed by successful complete evaluations, and the
 	// optimizer ranks plans with the measured operator selectivities once
@@ -196,6 +213,11 @@ type Server struct {
 	cache      *lru
 	metrics    *metrics
 
+	// coord is the cluster coordinator (nil for single-node service). It is
+	// long-lived shared state like the shard executors: per-worker breakers
+	// and health verdicts persist across queries and hot reloads.
+	coord *cluster.Coordinator
+
 	// flight is the query flight recorder (nil when disabled by a negative
 	// Config.FlightRecorderSize). It is append-only shared state, never
 	// replaced, so captures from before and after a hot reload coexist,
@@ -216,7 +238,10 @@ type Server struct {
 	reloadCall *reloadCall
 }
 
-// New creates a Server with no logs loaded.
+// New creates a Server with no logs loaded. It panics on an invalid
+// Config.Cluster (no workers, or duplicate worker URLs): that is a
+// construction-time configuration error, and cmd/wlq-serve validates the
+// flag before building the Config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	capacity := cfg.MaxInFlight
@@ -227,6 +252,13 @@ func New(cfg Config) *Server {
 	if cfg.FlightRecorderSize >= 0 {
 		flight = flightrec.New(cfg.FlightRecorderSize) // 0 resolves to the default size
 	}
+	var coord *cluster.Coordinator
+	if cfg.Cluster != nil {
+		var err error
+		if coord, err = cluster.New(*cfg.Cluster); err != nil {
+			panic(fmt.Sprintf("server: invalid cluster config: %v", err))
+		}
+	}
 	return &Server{
 		cfg:        cfg,
 		admission:  resilience.NewAdmission(capacity), // nil (unlimited) when negative
@@ -234,9 +266,25 @@ func New(cfg Config) *Server {
 		quarantine: make(map[string]string),
 		cache:      newLRU(cfg.CacheSize),
 		metrics:    newMetrics(),
+		coord:      coord,
 		flight:     flight,
 		stats:      make(map[string]*logStats),
 	}
+}
+
+// Coordinator returns the cluster coordinator, or nil for a single-node
+// server. Tests use it to drive health probes deterministically
+// (cluster.Coordinator.ProbeOnce); cmd/wlq-serve only needs StartClusterProbing.
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
+// StartClusterProbing launches the coordinator's background worker health
+// probes until ctx is cancelled. No-op on a single-node server or with a
+// negative Config.ProbeInterval (tests probe explicitly instead).
+func (s *Server) StartClusterProbing(ctx context.Context) {
+	if s.coord == nil || s.cfg.ProbeInterval < 0 {
+		return
+	}
+	s.coord.StartProbing(ctx, s.cfg.ProbeInterval)
 }
 
 // logStats is one log's adaptive cost-model state: the registry and the
@@ -334,7 +382,9 @@ func (s *Server) newBackend(l *wlog.Log) eval.Source {
 // newShardExecutor builds a log's sharded executor from the server config,
 // or nil when sharded execution is disabled.
 func (s *Server) newShardExecutor(ix eval.Source) *shard.Executor {
-	if s.cfg.Shards == 0 {
+	// A coordinator's failure domains are the workers; in-process shards on
+	// top would partition twice for no added isolation.
+	if s.cfg.Shards == 0 || s.coord != nil {
 		return nil
 	}
 	n := s.cfg.Shards
@@ -393,6 +443,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.WorkerMode {
+		mux.HandleFunc("POST /v1/worker/query", s.handleWorkerQuery)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -476,6 +529,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if len(quarantined) > 0 {
 		doc["status"] = "degraded"
 		doc["quarantined"] = quarantined
+	}
+	// A coordinator with lost workers (probe-unhealthy, or breaker not
+	// closed) still answers — degraded, with partial coverage — so like a
+	// quarantined log this surfaces on the probe without flipping readiness.
+	if s.coord != nil {
+		doc["workers"] = s.coord.Health()
+		if lost := s.coord.Lost(); len(lost) > 0 {
+			doc["status"] = "degraded"
+			doc["workers_lost"] = lost
+		}
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
@@ -831,7 +894,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sp = qtr.StartSpan("eval")
 		var qs eval.QueryStats
 		var set *incident.Set
-		if entry.shardex != nil {
+		if s.coord != nil {
+			// Distributed execution: the coordinator fans the optimized plan
+			// out to the workers owning wids (consistent hash placement) and
+			// merges their answers; a lost worker degrades the result to a
+			// partial instead of failing the query, under the same
+			// completeness contract as in-process shards.
+			s.metrics.clusterQueries.Add(1)
+			var fan cluster.Fanout
+			set, comp, fan, err = s.coord.Execute(ctx, entry.name, plan, cluster.ExecOptions{
+				WIDs:     entry.ix.WIDs(),
+				Strategy: strategy.String(),
+				Limit:    req.Limit,
+				Budget:   s.cfg.Budget,
+			}, &qs)
+			capture.Workers = &flightrec.WorkerSummary{
+				Workers:   fan.Workers,
+				Attempted: fan.Attempted,
+				Succeeded: fan.Succeeded,
+				Failed:    fan.Failed,
+				Skipped:   fan.Skipped,
+				Hedged:    fan.Hedged,
+				Retries:   fan.Retries,
+			}
+			if comp != nil {
+				s.metrics.widsExcluded.Add(uint64(comp.ExcludedWIDs))
+			}
+		} else if entry.shardex != nil {
 			// Sharded execution: each shard is its own failure domain with a
 			// budget slice, retry loop and circuit breaker; a lost shard
 			// yields a partial result instead of a failed query.
@@ -901,6 +990,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					Error:      "evaluation fault; the query was isolated and the service keeps serving",
 					IncidentID: pe.IncidentID,
 				})
+			case s.coord != nil && ctx.Err() == nil:
+				// Whole-fleet loss: every shard-holding worker failed or was
+				// skipped by its breaker (single-worker losses degrade to a
+				// partial above, not an error). 502: the upstreams failed us.
+				// The completeness names exactly what was lost.
+				s.metrics.queryErrors.Add(1)
+				capFail(flightrec.StatusError, http.StatusBadGateway,
+					"cluster evaluation failed: "+err.Error())
+				capture.Completeness = comp
+				writeJSON(w, http.StatusBadGateway, errorDoc{
+					Error:        fmt.Sprintf("cluster evaluation failed: %v", err),
+					Completeness: comp,
+				})
 			case errors.Is(err, context.DeadlineExceeded):
 				s.metrics.queryTimeouts.Add(1)
 				capFail(flightrec.StatusTimeout, http.StatusGatewayTimeout,
@@ -956,7 +1058,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// the selectivity registry. Partial results (lost shards), budget
 		// aborts, panics and timeouts all exited above — their truncated
 		// output counts would read as selectivity and poison later plans.
-		if reg := s.statsFor(entry.name); reg != nil && (comp == nil || comp.Complete) {
+		// Distributed runs are excluded too: the evaluation happened on the
+		// workers, so the coordinator's meter is empty and flushing it would
+		// record zero-count snapshots as evidence.
+		if reg := s.statsFor(entry.name); reg != nil && s.coord == nil && (comp == nil || comp.Complete) {
 			meter.Flush(reg)
 			s.saveStats(entry.name)
 		}
@@ -1264,5 +1369,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK,
 		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(),
-			s.cache, s.admission, s.flight, s.backendName()))
+			s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics()))
 }

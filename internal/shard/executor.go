@@ -82,6 +82,50 @@ type ShardOutcome struct {
 	// Skipped is true when an open circuit breaker excluded the shard
 	// without any attempt this query.
 	Skipped bool `json:"skipped,omitempty"`
+	// Worker names the remote node that owned the shard, for distributed
+	// execution (internal/cluster); empty for in-process shards.
+	Worker string `json:"worker,omitempty"`
+	// Ranges lists the exact excluded wid runs when the excluded set is
+	// scattered (hash placement) and the envelope alone would overstate the
+	// loss. Empty when WIDMin–WIDMax already is the exact interval.
+	Ranges []WIDRange `json:"wid_ranges,omitempty"`
+}
+
+// WIDRange is one contiguous run of workflow instance ids, inclusive.
+type WIDRange struct {
+	Min uint64 `json:"min"`
+	Max uint64 `json:"max"`
+}
+
+// MaxOutcomeRanges caps ShardOutcome.Ranges: past this many runs the exact
+// enumeration stops paying for itself in a completeness document, and the
+// envelope plus the wid count carries the information.
+const MaxOutcomeRanges = 64
+
+// RangesOf run-length-encodes an ascending wid slice into inclusive ranges.
+// It returns nil when the encoding would exceed MaxOutcomeRanges runs (the
+// caller falls back to the min/max envelope) or when the slice is a single
+// contiguous run already described by the envelope.
+func RangesOf(wids []uint64) []WIDRange {
+	if len(wids) == 0 {
+		return nil
+	}
+	ranges := []WIDRange{{Min: wids[0], Max: wids[0]}}
+	for _, wid := range wids[1:] {
+		last := &ranges[len(ranges)-1]
+		if wid == last.Max+1 {
+			last.Max = wid
+			continue
+		}
+		if len(ranges) == MaxOutcomeRanges {
+			return nil
+		}
+		ranges = append(ranges, WIDRange{Min: wid, Max: wid})
+	}
+	if len(ranges) == 1 {
+		return nil // the envelope is already exact
+	}
+	return ranges
 }
 
 // Completeness is the partial-result contract: exactly which slices of the
@@ -161,26 +205,10 @@ func Retryable(err error) bool {
 	return errors.As(err, &pe)
 }
 
-// sliceBudget divides the query budget's work dimensions evenly across n
-// shards (rounding up, so n slices always cover the whole budget). Wall
-// time is NOT divided: shards run concurrently, so each inherits the full
-// wall-clock allowance.
+// sliceBudget divides the query budget across n shards; the arithmetic
+// lives on resilience.Budget so the cluster coordinator shares it.
 func sliceBudget(b resilience.Budget, n int) resilience.Budget {
-	if n <= 1 {
-		return b
-	}
-	div := func(v uint64) uint64 {
-		if v == 0 {
-			return 0
-		}
-		return (v + uint64(n) - 1) / uint64(n)
-	}
-	return resilience.Budget{
-		MaxComparisons: div(b.MaxComparisons),
-		MaxOutputs:     div(b.MaxOutputs),
-		MaxWallTime:    b.MaxWallTime,
-		MaxResultBytes: div(b.MaxResultBytes),
-	}
+	return b.Slice(n)
 }
 
 // shardResult is one shard's terminal outcome within a query.

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test: a coordinator and three workers as real
+# separate processes on loopback. One worker is killed mid-run; the
+# coordinator must degrade to a 206 whose completeness names the loss and
+# flag the worker on /readyz; after the worker rejoins, the same query must
+# answer 200 with a digest equal to a single-node server's. This is the
+# process-level twin of internal/server/cluster_test.go — same contract, no
+# shared memory.
+#
+# Requires: go, curl, python3. Exits non-zero on the first broken assertion.
+set -euo pipefail
+
+BASE_PORT="${CLUSTER_SMOKE_PORT:-19180}"
+LOG_SPEC="clinic=clinic:64:7"
+QUERY='{"log":"clinic","query":"GetRefer -> SeeDoctor","partial":true}'
+
+COORD_PORT=$BASE_PORT
+W1_PORT=$((BASE_PORT + 1))
+W2_PORT=$((BASE_PORT + 2))
+W3_PORT=$((BASE_PORT + 3))
+SINGLE_PORT=$((BASE_PORT + 4))
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "cluster-smoke: $*"; }
+die() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+say "building wlq-serve"
+go build -o "$workdir/wlq-serve" ./cmd/wlq-serve
+
+start_worker() { # port -> pid
+  "$workdir/wlq-serve" -worker -addr "127.0.0.1:$1" -log "$LOG_SPEC" \
+    -no-request-log >"$workdir/worker-$1.log" 2>&1 &
+  echo $!
+}
+
+wait_ready() { # url
+  for _ in $(seq 1 50); do
+    if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  die "$1 never became ready"
+}
+
+# digest extracts the answer-defining fields of a 200 body.
+digest() { # file
+  python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(json.dumps({"count": doc["count"], "incidents": doc.get("incidents")}, sort_keys=True))
+' "$1"
+}
+
+post() { # url outfile -> status code on stdout
+  curl -sS -o "$2" -w '%{http_code}' -H 'Content-Type: application/json' \
+    -d "$QUERY" "$1/v1/query"
+}
+
+say "starting 3 workers + coordinator + single-node reference"
+pids+=("$(start_worker "$W1_PORT")")
+pids+=("$(start_worker "$W2_PORT")")
+pids+=("$(start_worker "$W3_PORT")")
+"$workdir/wlq-serve" -addr "127.0.0.1:$COORD_PORT" -log "$LOG_SPEC" \
+  -cluster-workers "http://127.0.0.1:$W1_PORT,http://127.0.0.1:$W2_PORT,http://127.0.0.1:$W3_PORT" \
+  -worker-attempts 1 -breaker-threshold 1 -breaker-cooldown 2s \
+  -probe-interval 500ms -cache -1 -no-request-log \
+  >"$workdir/coordinator.log" 2>&1 &
+pids+=($!)
+"$workdir/wlq-serve" -addr "127.0.0.1:$SINGLE_PORT" -log "$LOG_SPEC" \
+  -no-request-log >"$workdir/single.log" 2>&1 &
+pids+=($!)
+
+for port in "$W1_PORT" "$W2_PORT" "$W3_PORT" "$COORD_PORT" "$SINGLE_PORT"; do
+  wait_ready "http://127.0.0.1:$port"
+done
+
+say "healthy fleet: answer must match the single-node reference"
+code=$(post "http://127.0.0.1:$SINGLE_PORT" "$workdir/single.json")
+[ "$code" = 200 ] || die "single-node query returned $code"
+code=$(post "http://127.0.0.1:$COORD_PORT" "$workdir/healthy.json")
+[ "$code" = 200 ] || die "healthy cluster query returned $code (want 200): $(cat "$workdir/healthy.json")"
+[ "$(digest "$workdir/single.json")" = "$(digest "$workdir/healthy.json")" ] \
+  || die "healthy cluster answer diverges from single-node"
+
+say "killing worker 2 (port $W2_PORT)"
+kill -9 "${pids[1]}"
+
+code=$(post "http://127.0.0.1:$COORD_PORT" "$workdir/degraded.json")
+[ "$code" = 206 ] || die "degraded query returned $code (want 206): $(cat "$workdir/degraded.json")"
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+comp = doc.get("completeness") or sys.exit("206 without completeness")
+assert doc.get("partial") is True, "206 not marked partial"
+assert comp["complete"] is False, "degraded completeness claims complete"
+fails = comp.get("failures") or sys.exit("no failures named")
+victim = sys.argv[2]
+assert any(f.get("worker") == victim for f in fails), f"victim {victim} not named in {fails}"
+assert comp["excluded_wids"] > 0, "no wids reported excluded"
+' "$workdir/degraded.json" "http://127.0.0.1:$W2_PORT"
+say "degraded 206 names the lost worker and its wid ranges"
+
+say "waiting for /readyz to report the loss"
+for i in $(seq 1 30); do
+  curl -fsS "http://127.0.0.1:$COORD_PORT/readyz" >"$workdir/readyz.json"
+  if python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sys.exit(0 if doc.get("status") == "degraded" and doc.get("workers_lost") else 1)
+' "$workdir/readyz.json"; then break; fi
+  [ "$i" = 30 ] && die "readyz never degraded: $(cat "$workdir/readyz.json")"
+  sleep 0.3
+done
+say "readyz degraded with workers_lost"
+
+curl -fsS "http://127.0.0.1:$COORD_PORT/metrics?format=prometheus" >"$workdir/metrics.prom"
+grep -q "wlq_cluster_worker_breaker_open{worker=\"http://127.0.0.1:$W2_PORT\"} 1" "$workdir/metrics.prom" \
+  || die "breaker-open gauge for the victim missing from the prometheus exposition"
+say "victim breaker visible as open in /metrics"
+
+say "rejoining worker 2 on the same port"
+pids[1]=$(start_worker "$W2_PORT")
+wait_ready "http://127.0.0.1:$W2_PORT"
+
+# The breaker needs its 2s cooldown before it half-opens; poll until the
+# fleet answers complete again.
+for i in $(seq 1 30); do
+  code=$(post "http://127.0.0.1:$COORD_PORT" "$workdir/healed.json")
+  if [ "$code" = 200 ]; then break; fi
+  [ "$i" = 30 ] && die "fleet never healed: last status $code: $(cat "$workdir/healed.json")"
+  sleep 0.5
+done
+[ "$(digest "$workdir/single.json")" = "$(digest "$workdir/healed.json")" ] \
+  || die "post-rejoin answer diverges from single-node"
+say "post-rejoin 200 is digest-equal to single-node"
+
+say "PASS"
