@@ -127,6 +127,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			"duplicate a worker request that has not answered within this delay and take the first response (0 disables hedging)")
 		probeInterval = fs.Duration("probe-interval", 0,
 			"coordinator's worker health-probe period feeding /readyz (0 = default 5s)")
+		tracePropagation = fs.Bool("trace-propagation", true,
+			"propagate a traceparent trace context on every worker request and stitch the returned span trees into one distributed trace (coordinator only)")
+		maxTraceSpans = fs.Int("max-trace-spans", 0,
+			"cap on the span subtree each worker may return on a traced query; oversized trees are pruned and annotated (0 = default 2048)")
 
 		shards = fs.Int("shards", 0,
 			"evaluate each query across this many isolated wid-range failure domains with per-shard retries and circuit breakers; a lost shard degrades the result instead of failing it (0 = off, negative = GOMAXPROCS)")
@@ -180,8 +184,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			HedgeAfter:    *hedgeAfter,
 			// The breaker flags tune whichever failure-domain tier is active:
 			// in-process shards on a single node, workers on a coordinator.
-			BreakerThreshold: *breakerThreshold,
-			BreakerCooldown:  *breakerCooldown,
+			BreakerThreshold:        *breakerThreshold,
+			BreakerCooldown:         *breakerCooldown,
+			DisableTracePropagation: !*tracePropagation,
+			MaxTraceSpans:           *maxTraceSpans,
 		}
 	}
 

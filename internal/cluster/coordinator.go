@@ -33,6 +33,11 @@ const (
 	DefaultMaxAttempts = 2
 	// DefaultProbeInterval paces the background worker health probes.
 	DefaultProbeInterval = 5 * time.Second
+	// DefaultMaxTraceSpans caps the span subtree one worker may return on a
+	// traced query. Big enough for any realistic plan tree (spans mirror
+	// plan nodes, not instances), small enough that a fleet of subtrees
+	// cannot balloon a flight-recorder capture.
+	DefaultMaxTraceSpans = 2048
 )
 
 // Config tunes a coordinator. Workers is required; every other zero field
@@ -75,6 +80,14 @@ type Config struct {
 	Sleep func(time.Duration)
 	// Rand draws the backoff jitter uniform in [0,1) (nil = math/rand).
 	Rand func() float64
+	// DisableTracePropagation turns off distributed tracing: no traceparent
+	// header on worker requests, no span subtrees or cost tables in worker
+	// responses. The zero value propagates whenever the query carries an
+	// obs.Trace.
+	DisableTracePropagation bool
+	// MaxTraceSpans caps the span subtree each worker may return
+	// (0 = DefaultMaxTraceSpans).
+	MaxTraceSpans int
 }
 
 // withDefaults resolves zero fields.
@@ -90,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
+	}
+	if c.MaxTraceSpans <= 0 {
+		c.MaxTraceSpans = DefaultMaxTraceSpans
 	}
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
@@ -139,6 +155,7 @@ type Coordinator struct {
 	ring    *Ring
 	client  *http.Client
 	workers []*workerState
+	hists   map[string]*durationHist
 
 	fanouts        atomic.Uint64
 	workerRequests atomic.Uint64
@@ -166,12 +183,14 @@ func New(cfg Config) (*Coordinator, error) {
 		seen[w] = true
 	}
 	workers := make([]*workerState, len(cfg.Workers))
+	hists := make(map[string]*durationHist, len(cfg.Workers))
 	for i, name := range cfg.Workers {
 		workers[i] = &workerState{
 			name:    name,
 			breaker: shard.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 			healthy: true, // optimistic until a probe or request says otherwise
 		}
+		hists[name] = newDurationHist()
 	}
 	return &Coordinator{
 		cfg:  cfg,
@@ -180,6 +199,7 @@ func New(cfg Config) (*Coordinator, error) {
 		// client, so hedges and probes can choose their own.
 		client:  &http.Client{Transport: cfg.Transport},
 		workers: workers,
+		hists:   hists,
 	}, nil
 }
 
@@ -211,9 +231,48 @@ type Fanout struct {
 	Succeeded int `json:"succeeded"`
 	Failed    int `json:"failed"`
 	Skipped   int `json:"skipped"`
-	// Hedged counts straggler requests duplicated; Retries re-attempts.
-	Hedged  int `json:"hedged"`
-	Retries int `json:"retries"`
+	// Hedged counts straggler requests duplicated; Retries re-attempts;
+	// HedgeWins hedges whose duplicate answered first.
+	Hedged    int `json:"hedged"`
+	Retries   int `json:"retries"`
+	HedgeWins int `json:"hedge_wins"`
+	// PerWorker details every worker contacted (or breaker-skipped) this
+	// query, in fleet order.
+	PerWorker []WorkerCall `json:"per_worker,omitempty"`
+	// TraceID is the propagated cross-process trace id ("" when the query
+	// was untraced or propagation is disabled).
+	TraceID string `json:"trace_id,omitempty"`
+	// CostTable is the fleet-wide Lemma 1 table: the per-worker tables of
+	// every merged answer summed row-by-row (nil when untraced).
+	CostTable []obs.CostRow `json:"-"`
+}
+
+// WorkerCall is one worker's outcome within a single distributed query —
+// the structured per-worker detail the flight recorder captures.
+type WorkerCall struct {
+	// Worker is the worker base URL; WIDs how many wids it owned.
+	Worker string `json:"worker"`
+	WIDs   int    `json:"wids"`
+	// Status is "ok", "failed", or "skipped" (breaker).
+	Status string `json:"status"`
+	// Attempts counts requests sent (hedges excluded); Retries re-attempts
+	// after backoff; Hedges duplicated straggler requests; HedgeWon whether
+	// a hedge's answer was the one used.
+	Attempts int  `json:"attempts"`
+	Retries  int  `json:"retries"`
+	Hedges   int  `json:"hedges"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	// BreakerSkip marks a worker excluded without any request by an open
+	// circuit breaker.
+	BreakerSkip bool `json:"breaker_skip,omitempty"`
+	// ElapsedUS is the worker-reported evaluation wall time (0 on failure).
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Incidents is how many incidents the worker contributed; TraceSpans
+	// how many spans its returned subtree carried.
+	Incidents  int `json:"incidents"`
+	TraceSpans int `json:"trace_spans,omitempty"`
+	// Error is the terminal failure, when Status != "ok".
+	Error string `json:"error,omitempty"`
 }
 
 // ExecOptions parameterizes one distributed execution.
@@ -239,6 +298,9 @@ type workerResult struct {
 	hedgeWin  bool
 	err       error
 	skipped   bool
+	elapsedUS int64
+	spanCount int
+	costTable []obs.CostRow
 }
 
 // Execute evaluates the plan across the worker fleet: each worker owning
@@ -285,35 +347,76 @@ func (c *Coordinator) Execute(ctx context.Context, logName string, plan pattern.
 		Budget:   ToBudgetDoc(opts.Budget.Slice(len(fleet))),
 	}
 
+	// Distributed tracing: mint (or reuse) the query's trace id and ask
+	// workers to return their span trees and cost tables. The id travels on
+	// a traceparent header per request; the request body only carries the
+	// enable flag and the subtree cap.
 	tr := obs.FromContext(ctx)
+	traceID := ""
+	if tr != nil && !c.cfg.DisableTracePropagation {
+		traceID = tr.ID()
+		req.Trace = true
+		req.MaxTraceSpans = c.cfg.MaxTraceSpans
+	}
+	fan.TraceID = traceID
+	scatter := tr.StartSpan("scatter")
+	scatter.SetAttr("workers", len(fleet))
+	if traceID != "" {
+		scatter.SetAttr("trace_id", traceID)
+	}
+
 	results := make([]workerResult, len(fleet))
 	var wg sync.WaitGroup
 	for i, a := range fleet {
 		wg.Add(1)
 		go func(i int, a active) {
 			defer wg.Done()
-			results[i] = c.runWorker(ctx, tr, a.wi, req, len(a.wids))
+			results[i] = c.runWorker(ctx, scatter, traceID, a.wi, req, len(a.wids))
 		}(i, a)
 	}
 	wg.Wait()
+	scatter.End()
 
+	msp := tr.StartSpan("merge")
+	defer msp.End()
 	var (
 		merged    []incident.Incident
 		firstErr  error
 		instances int
+		tables    [][]obs.CostRow
 	)
+	fan.PerWorker = make([]WorkerCall, 0, len(fleet))
 	for i, r := range results {
 		a := fleet[i]
 		comp.Retries += r.retries
 		fan.Retries += r.retries
 		fan.Hedged += r.hedges
+		if r.hedgeWin {
+			fan.HedgeWins++
+		}
+		call := WorkerCall{
+			Worker:      c.workers[a.wi].name,
+			WIDs:        len(a.wids),
+			Attempts:    r.attempts,
+			Retries:     r.retries,
+			Hedges:      r.hedges,
+			HedgeWon:    r.hedgeWin,
+			BreakerSkip: r.skipped,
+			ElapsedUS:   r.elapsedUS,
+			Incidents:   len(r.incs),
+			TraceSpans:  r.spanCount,
+		}
 		switch {
 		case r.skipped:
+			call.Status = "skipped"
+			call.Error = r.err.Error()
 			comp.Skipped++
 			fan.Skipped++
 			comp.ExcludedWIDs += len(a.wids)
 			comp.Failures = append(comp.Failures, c.outcome(a.wi, a.wids, r))
 		case r.err != nil:
+			call.Status = "failed"
+			call.Error = r.err.Error()
 			comp.Attempted++
 			fan.Attempted++
 			comp.Failed++
@@ -324,15 +427,25 @@ func (c *Coordinator) Execute(ctx context.Context, logName string, plan pattern.
 				firstErr = fmt.Errorf("worker %s: %w", c.workers[a.wi].name, r.err)
 			}
 		default:
+			call.Status = "ok"
 			comp.Attempted++
 			fan.Attempted++
 			comp.Succeeded++
 			fan.Succeeded++
 			merged = append(merged, r.incs...)
 			instances += r.instances
+			if len(r.costTable) > 0 {
+				tables = append(tables, r.costTable)
+			}
 		}
+		fan.PerWorker = append(fan.PerWorker, call)
 	}
+	// Only merged answers feed the fleet table: a failed worker's partial
+	// measurements would skew the measured-vs-predicted comparison.
+	fan.CostTable = obs.AggregateCostTables(tables...)
 	comp.Complete = comp.Succeeded == comp.Shards
+	msp.SetAttr("workers_merged", comp.Succeeded)
+	msp.SetAttr("incidents", len(merged))
 	if qs != nil {
 		qs.Workers = len(fleet)
 		qs.Shards = len(fleet)
@@ -358,11 +471,26 @@ func (c *Coordinator) Execute(ctx context.Context, logName string, plan pattern.
 }
 
 // runWorker drives one worker through breaker admission, the retry loop and
-// hedging.
-func (c *Coordinator) runWorker(ctx context.Context, tr *obs.Trace, wi int, req WorkerQueryRequest, assigned int) workerResult {
+// hedging. Everything the coordinator does for the worker is recorded as
+// spans under a per-worker span: a queue-wait span (goroutine scheduling +
+// admission + marshal before the first transport write), sibling transport
+// spans per request with attempt/hedge annotations, backoff spans between
+// retries, and a breaker-skip span when the breaker rejects the worker
+// outright. The winning response's own span subtree is grafted under the
+// transport span that carried it.
+func (c *Coordinator) runWorker(ctx context.Context, parent *obs.Span, traceID string, wi int, req WorkerQueryRequest, assigned int) workerResult {
 	w := c.workers[wi]
+	wsp := parent.StartChild("worker " + w.name)
+	defer wsp.End()
+	wsp.SetAttr("wids", assigned)
+	qw := wsp.StartChild("queue-wait")
 	if !w.breaker.Allow() {
+		qw.End()
 		c.workersSkipped.Add(1)
+		sk := wsp.StartChild("breaker-skip")
+		sk.SetAttr("breaker", "open")
+		sk.End()
+		wsp.SetAttr("status", "skipped")
 		return workerResult{
 			skipped: true,
 			err:     fmt.Errorf("circuit breaker open for worker %s", w.name),
@@ -371,18 +499,18 @@ func (c *Coordinator) runWorker(ctx context.Context, tr *obs.Trace, wi int, req 
 	req.Self = w.name
 	body, err := json.Marshal(req)
 	if err != nil {
+		qw.End()
+		wsp.SetAttr("status", "failed")
 		return workerResult{attempts: 1, err: fmt.Errorf("encode worker request: %w", err)}
 	}
 	var res workerResult
 	for attempt := 1; ; attempt++ {
 		res.attempts = attempt
-		sp := tr.StartSpan(fmt.Sprintf("worker %s attempt %d", w.name, attempt))
-		sp.SetAttr("wids", assigned)
+		qw.End() // idempotent; first attempt ends the queue wait
 
-		resp, hedged, hedgeWon, err := c.call(ctx, w.name, body)
+		resp, winner, hedged, hedgeWon, err := c.call(ctx, wsp, attempt, traceID, w.name, body)
 		if hedged {
 			res.hedges++
-			sp.SetAttr("hedged", true)
 		}
 		if hedgeWon {
 			res.hedgeWin = true
@@ -393,20 +521,33 @@ func (c *Coordinator) runWorker(ctx context.Context, tr *obs.Trace, wi int, req 
 			err = nonRetryable(fmt.Errorf(
 				"ring mismatch: worker evaluated %d wids, coordinator assigned %d (membership or replica skew)",
 				resp.WIDsOwned, assigned))
+			winner.SetAttr("error", err.Error())
 			resp = nil
 		}
 		if err == nil {
-			sp.SetAttr("incidents", len(resp.Incidents))
-			sp.End()
+			winner.SetAttr("incidents", len(resp.Incidents))
+			if traceID != "" && resp.TraceID != "" && resp.TraceID != traceID {
+				// Same spirit as the WIDsOwned echo: the worker answered under
+				// a different trace context than we sent. Annotate, keep the
+				// answer (trace skew is an observability fault, not a data one).
+				winner.SetAttr("trace_id_mismatch", resp.TraceID)
+			}
+			if resp.Spans != nil {
+				res.spanCount = obs.CountSpans(resp.Spans)
+				obs.Graft(winner, resp.Spans, winner.StartUS)
+			}
 			w.breaker.Success()
 			res.incs = ToIncidents(resp.Incidents)
 			res.instances = resp.Instances
+			res.elapsedUS = resp.ElapsedUS
+			res.costTable = resp.CostTable
 			res.err = nil
+			wsp.SetAttr("status", "ok")
 			return res
 		}
-		sp.SetAttr("error", err.Error())
-		sp.End()
 		res.err = err
+		wsp.SetAttr("status", "failed")
+		wsp.SetAttr("error", err.Error())
 		// The parent context dying is not a worker fault: don't trip the
 		// breaker for it, and don't retry into a cancelled query.
 		if ctx.Err() != nil {
@@ -418,15 +559,25 @@ func (c *Coordinator) runWorker(ctx context.Context, tr *obs.Trace, wi int, req 
 		}
 		res.retries++
 		c.workerRetries.Add(1)
-		c.cfg.Sleep(c.cfg.Backoff.Delay(attempt, c.cfg.Rand()))
+		delay := c.cfg.Backoff.Delay(attempt, c.cfg.Rand())
+		bsp := wsp.StartChild("backoff")
+		bsp.SetAttr("delay_ms", delay.Milliseconds())
+		bsp.SetAttr("next_attempt", attempt+1)
+		c.cfg.Sleep(delay)
+		bsp.End()
 	}
 }
 
 // call performs one attempt against a worker: the primary request, plus —
 // when HedgeAfter is set and the primary has not answered in time — one
 // duplicate, with whichever lands first winning. The per-attempt timeout
-// covers primary and hedge together.
-func (c *Coordinator) call(ctx context.Context, worker string, body []byte) (resp *WorkerQueryResponse, hedged, hedgeWon bool, err error) {
+// covers primary and hedge together. Primary and hedge each get their own
+// transport span under wsp (siblings, annotated attempt/hedge); the span
+// of the request whose result is used is returned so the caller can graft
+// the worker's subtree under it. All span writes happen before call
+// returns — abandoned requests' spans are closed here, never from their
+// still-running goroutines.
+func (c *Coordinator) call(ctx context.Context, wsp *obs.Span, attempt int, traceID, worker string, body []byte) (resp *WorkerQueryResponse, winner *obs.Span, hedged, hedgeWon bool, err error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
 	defer cancel()
 
@@ -436,13 +587,38 @@ func (c *Coordinator) call(ctx context.Context, worker string, body []byte) (res
 		hedge bool
 	}
 	ch := make(chan result, 2)
-	launch := func(isHedge bool) {
+	var primarySpan, hedgeSpan *obs.Span
+	launch := func(isHedge bool) *obs.Span {
+		sp := wsp.StartChild("transport")
+		sp.SetAttr("attempt", attempt)
+		header := ""
+		if traceID != "" {
+			spanID := obs.NewSpanID()
+			sp.SetAttr("span_id", spanID)
+			header = obs.FormatTraceparent(traceID, spanID)
+		}
+		if isHedge {
+			sp.SetAttr("hedge", true)
+		}
 		go func() {
-			r, err := c.post(actx, worker, body)
+			r, err := c.post(actx, worker, body, header)
 			ch <- result{resp: r, err: err, hedge: isHedge}
 		}()
+		return sp
 	}
-	launch(false)
+	primarySpan = launch(false)
+	ended := make(map[*obs.Span]bool, 2)
+	// abandon closes the span of a request still in flight when we stop
+	// waiting for it (the other request already won); its goroutine will
+	// drain into the buffered channel without touching the span again.
+	abandon := func() {
+		for _, sp := range []*obs.Span{primarySpan, hedgeSpan} {
+			if sp != nil && !ended[sp] {
+				sp.SetAttr("abandoned", true)
+				sp.End()
+			}
+		}
+	}
 
 	var hedgeTimer *time.Timer
 	var hedgeC <-chan time.Time
@@ -454,22 +630,34 @@ func (c *Coordinator) call(ctx context.Context, worker string, body []byte) (res
 
 	outstanding := 1
 	var firstErr error
+	firstErrSpan := primarySpan
 	for {
 		select {
 		case r := <-ch:
 			outstanding--
+			spanOf := primarySpan
+			if r.hedge {
+				spanOf = hedgeSpan
+			}
+			if r.err != nil {
+				spanOf.SetAttr("error", r.err.Error())
+			}
+			spanOf.End()
+			ended[spanOf] = true
 			if r.err == nil {
 				if r.hedge {
 					hedgeWon = true
 					c.hedgeWins.Add(1)
 				}
-				return r.resp, hedged, hedgeWon, nil
+				abandon()
+				return r.resp, spanOf, hedged, hedgeWon, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
+				firstErrSpan = spanOf
 			}
 			if outstanding == 0 {
-				return nil, hedged, false, firstErr
+				return nil, firstErrSpan, hedged, false, firstErr
 			}
 			// The other request (hedge or primary) is still out; wait for it.
 		case <-hedgeC:
@@ -477,14 +665,23 @@ func (c *Coordinator) call(ctx context.Context, worker string, body []byte) (res
 			hedged = true
 			c.hedges.Add(1)
 			outstanding++
-			launch(true)
+			hedgeSpan = launch(true)
 		}
 	}
 }
 
-// post issues one HTTP request to a worker and decodes the reply.
-func (c *Coordinator) post(ctx context.Context, worker string, body []byte) (*WorkerQueryResponse, error) {
+// post issues one HTTP request to a worker and decodes the reply. The
+// traceparent value, when non-empty, propagates the distributed trace
+// context. Request duration feeds the per-worker latency histogram either
+// way.
+func (c *Coordinator) post(ctx context.Context, worker string, body []byte, traceparent string) (*WorkerQueryResponse, error) {
 	c.workerRequests.Add(1)
+	start := time.Now()
+	defer func() {
+		if h := c.hists[worker]; h != nil {
+			h.observe(time.Since(start))
+		}
+	}()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		strings.TrimSuffix(worker, "/")+"/v1/worker/query", bytes.NewReader(body))
 	if err != nil {
@@ -492,6 +689,9 @@ func (c *Coordinator) post(ctx context.Context, worker string, body []byte) (*Wo
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	httpResp, err := c.client.Do(req)
 	if err != nil {
 		c.workerFailures.Add(1)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wlq/internal/core/incident"
+	"wlq/internal/obs"
 	"wlq/internal/resilience"
 )
 
@@ -41,6 +42,14 @@ type WorkerQueryRequest struct {
 	Limit int `json:"limit,omitempty"`
 	// Budget is this worker's slice of the query budget.
 	Budget BudgetDoc `json:"budget,omitempty"`
+	// Trace asks the worker to run its evaluation under an obs.Trace and
+	// return the span tree plus Lemma 1 cost table in the response. The
+	// trace/parent-span ids travel separately, on the Traceparent header.
+	Trace bool `json:"trace,omitempty"`
+	// MaxTraceSpans caps the span subtree the worker may return (0 = the
+	// worker's default cap). Oversized trees are pruned pre-order and the
+	// subtree root annotated with truncated_spans.
+	MaxTraceSpans int `json:"max_trace_spans,omitempty"`
 }
 
 // BudgetDoc is resilience.Budget in wire form (wall time in milliseconds).
@@ -90,6 +99,21 @@ type WorkerQueryResponse struct {
 	Incidents []IncidentDoc `json:"incidents"`
 	// ElapsedUS is the worker-side evaluation wall time.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// TraceID echoes the propagated trace id (from the Traceparent request
+	// header) when the worker traced; the coordinator cross-checks it the
+	// same way WIDsOwned cross-checks placement.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans is the worker's span tree for this evaluation, offsets on the
+	// worker's own clock; the coordinator grafts it into the query trace.
+	// Present only when the request asked for tracing.
+	Spans *obs.Span `json:"spans,omitempty"`
+	// CostTable is the worker's per-operator Lemma 1 measured-vs-predicted
+	// table, which the coordinator aggregates fleet-wide. The worker does
+	// NOT flush these measurements into its own statistics registry — the
+	// final disposition (complete vs degraded-206) is only known at the
+	// coordinator, whose hygiene gate decides whether the fleet table feeds
+	// the adaptive cost model.
+	CostTable []obs.CostRow `json:"cost_table,omitempty"`
 }
 
 // ToIncidents converts wire incidents back to incident values.

@@ -90,8 +90,8 @@ type Capture struct {
 	Workers *WorkerSummary `json:"workers,omitempty"`
 }
 
-// WorkerSummary is the distributed fan-out of one capture: how many workers
-// the query scattered to and how each fared. Mirrors cluster.Fanout without
+// WorkerSummary is the distributed fan-out of one capture: the fleet-level
+// counts plus structured per-worker detail. Mirrors cluster.Fanout without
 // importing it (flightrec stays a leaf below the cluster tier).
 type WorkerSummary struct {
 	// Workers is the number of workers owning wids this query.
@@ -102,9 +102,42 @@ type WorkerSummary struct {
 	Succeeded int `json:"succeeded"`
 	Failed    int `json:"failed,omitempty"`
 	Skipped   int `json:"skipped,omitempty"`
-	// Hedged counts duplicated straggler requests; Retries re-attempts.
-	Hedged  int `json:"hedged,omitempty"`
-	Retries int `json:"retries,omitempty"`
+	// Hedged counts duplicated straggler requests; Retries re-attempts;
+	// HedgeWins hedges whose duplicate answered first.
+	Hedged    int `json:"hedged,omitempty"`
+	Retries   int `json:"retries,omitempty"`
+	HedgeWins int `json:"hedge_wins,omitempty"`
+	// TraceID is the propagated cross-process trace id, when the query was
+	// traced end-to-end.
+	TraceID string `json:"trace_id,omitempty"`
+	// PerWorker details every worker the query touched, in fleet order.
+	PerWorker []WorkerDetail `json:"per_worker,omitempty"`
+}
+
+// WorkerDetail is one worker's outcome within a captured distributed query
+// (mirrors cluster.WorkerCall).
+type WorkerDetail struct {
+	// Worker is the worker base URL; WIDs how many wids it owned.
+	Worker string `json:"worker"`
+	WIDs   int    `json:"wids"`
+	// Status is "ok", "failed", or "skipped" (breaker).
+	Status string `json:"status"`
+	// Attempts counts requests sent (hedges excluded); Retries re-attempts;
+	// Hedges duplicated straggler requests; HedgeWon whether a hedge's
+	// answer was used; BreakerSkip an exclusion by an open breaker.
+	Attempts    int  `json:"attempts"`
+	Retries     int  `json:"retries,omitempty"`
+	Hedges      int  `json:"hedges,omitempty"`
+	HedgeWon    bool `json:"hedge_won,omitempty"`
+	BreakerSkip bool `json:"breaker_skip,omitempty"`
+	// ElapsedUS is the worker-reported evaluation wall time (0 on failure).
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Incidents is the worker's contribution to the merged answer;
+	// TraceSpans the size of its returned span subtree.
+	Incidents  int `json:"incidents"`
+	TraceSpans int `json:"trace_spans,omitempty"`
+	// Error is the terminal failure, when Status != "ok".
+	Error string `json:"error,omitempty"`
 }
 
 // Notable reports whether the capture earns a slot in the notable ring:
@@ -123,6 +156,9 @@ type Filter struct {
 	MinElapsed time.Duration
 	// SlowOnly keeps only captures marked slow.
 	SlowOnly bool
+	// Worker keeps only distributed captures that touched this worker
+	// (matched against the per-worker detail; "" keeps all).
+	Worker string
 	// Limit caps the result length (0 means no cap beyond ring capacity).
 	Limit int
 }
@@ -139,6 +175,21 @@ func (f Filter) match(c *Capture) bool {
 	}
 	if f.SlowOnly && !c.Slow {
 		return false
+	}
+	if f.Worker != "" {
+		if c.Workers == nil {
+			return false
+		}
+		found := false
+		for _, d := range c.Workers.PerWorker {
+			if d.Worker == f.Worker {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
 	}
 	return true
 }

@@ -44,6 +44,10 @@ type CostRow struct {
 	// repeated-sub-pattern memo without join work.
 	Evals    uint64 `json:"evals"`
 	MemoHits uint64 `json:"memo_hits,omitempty"`
+	// Pairs is Σ n1·n2 across instance evaluations (operator rows only) —
+	// the denominator the statistics registry needs to recover operator
+	// selectivities from a table shipped across the wire.
+	Pairs uint64 `json:"pairs,omitempty"`
 	// Selectivity is the output-cardinality fraction the cost model charged
 	// this node with, and SelectivitySource whether it was an assumed
 	// constant or measured from the statistics registry. Present on
@@ -117,6 +121,7 @@ func CostTableWith(plan pattern.Node, m *eval.Meter, sel rewrite.Selectivities) 
 			row.Symbol = st.Op.Symbol()
 			row.K1, row.K2 = st.K1, st.K2
 			row.N1, row.N2 = st.LeftInputs, st.RightInputs
+			row.Pairs = st.Pairs
 			row.Bound = boundFormula(st.Op)
 			row.Selectivity, row.SelectivitySource = sel.ForOp(st.Op)
 		}
@@ -237,6 +242,9 @@ type QueryTrace struct {
 	Plan  string `json:"plan"`
 	// Strategy is the join family that produced the measurements.
 	Strategy string `json:"strategy"`
+	// TraceID is the cross-process trace id (set on distributed traces,
+	// where it was propagated to every worker on a traceparent header).
+	TraceID string `json:"trace_id,omitempty"`
 	// Spans is the root of the span tree.
 	Spans *Span `json:"spans"`
 	// CostTable is the per-node measured-vs-predicted accounting.

@@ -19,6 +19,9 @@ func (qt *QueryTrace) Render(w io.Writer) {
 		fmt.Fprintf(w, "plan:  %s\n", qt.Plan)
 	}
 	fmt.Fprintf(w, "strategy: %s\n", qt.Strategy)
+	if qt.TraceID != "" {
+		fmt.Fprintf(w, "trace_id: %s\n", qt.TraceID)
+	}
 	RenderSpan(w, qt.Spans, "")
 	fmt.Fprintln(w)
 	RenderCostTable(w, qt.CostTable)
@@ -30,7 +33,11 @@ func RenderSpan(w io.Writer, s *Span, indent string) {
 	if s == nil {
 		return
 	}
-	fmt.Fprintf(w, "%s%s (%dµs)%s\n", indent, s.Name, s.DurationUS, attrString(s.Attrs))
+	worker := ""
+	if s.Worker != "" {
+		worker = " [" + s.Worker + "]"
+	}
+	fmt.Fprintf(w, "%s%s%s (%dµs)%s\n", indent, s.Name, worker, s.DurationUS, attrString(s.Attrs))
 	for _, c := range s.Children {
 		RenderSpan(w, c, indent+"  ")
 	}

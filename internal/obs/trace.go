@@ -28,6 +28,7 @@ type Trace struct {
 	mu    sync.Mutex
 	start time.Time
 	root  *Span
+	id    string
 }
 
 // NewTrace starts a trace whose root span carries the given name.
@@ -35,6 +36,31 @@ func NewTrace(name string) *Trace {
 	t := &Trace{start: time.Now()}
 	t.root = &Span{trace: t, Name: name}
 	return t
+}
+
+// ID returns the trace id, minting one on first use. Minted ids are 16
+// random bytes in lowercase hex — the W3C trace-id shape — so they can be
+// propagated on a traceparent header as-is.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.id == "" {
+		t.id = NewTraceID()
+	}
+	return t.id
+}
+
+// SetID pins the trace id — used by workers adopting a propagated id.
+func (t *Trace) SetID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.id = id
 }
 
 // Root returns the root span (nil for a nil trace).
@@ -74,6 +100,10 @@ type Span struct {
 
 	// Name identifies the stage ("parse", "rewrite", an operator label…).
 	Name string `json:"name"`
+	// Worker attributes the span to the process that recorded it — a worker
+	// base URL on grafted subtrees, "coordinator" on locally recorded spans
+	// of a stitched distributed trace, empty on single-node traces.
+	Worker string `json:"worker,omitempty"`
 	// StartUS is the span's start offset from the trace start, µs.
 	StartUS int64 `json:"start_us"`
 	// DurationUS is the span's duration, µs (0 until End).

@@ -1,0 +1,598 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"wlq/internal/cluster"
+	"wlq/internal/faultinject"
+	"wlq/internal/flightrec"
+	"wlq/internal/obs"
+)
+
+// Distributed tracing suite: the coordinator mints one trace id per query,
+// propagates it to every worker on a traceparent header, and stitches the
+// returned span subtrees into one cross-process trace. Named with the
+// Cluster prefix so the CI chaos step (-race) covers it.
+
+// walkSpans visits every span of the tree in pre-order.
+func walkSpans(s *obs.Span, fn func(*obs.Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		walkSpans(c, fn)
+	}
+}
+
+// findSpans returns every span in the tree satisfying pred.
+func findSpans(s *obs.Span, pred func(*obs.Span) bool) []*obs.Span {
+	var out []*obs.Span
+	walkSpans(s, func(sp *obs.Span) {
+		if pred(sp) {
+			out = append(out, sp)
+		}
+	})
+	return out
+}
+
+// TestClusterDistributedTraceStitched is the tentpole acceptance walk: a
+// traced distributed query returns ONE stitched trace — worker attribution
+// on every span, grafted worker subtrees under the transport spans that
+// carried them, a fleet-aggregated cost table honoring the Lemma 1 bound —
+// and the answer stays digest-identical to single-node across fleet sizes
+// and storage backends.
+func TestClusterDistributedTraceStitched(t *testing.T) {
+	l := clusterEquivalenceLogs()["uniform"]
+	baseline := New(Config{})
+	if err := baseline.AddLog("eq", "builtin:eq", l); err != nil {
+		t.Fatal(err)
+	}
+	const body = `{"log":"eq","query":"(Act00 . Act01) -> Act02","strategy":"naive","trace":true}`
+	var want queryResponse
+	if rec := postQuery(t, baseline.Handler(), body, &want); rec.Code != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", rec.Code, rec.Body)
+	}
+
+	for _, columnar := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4} {
+			name := fmt.Sprintf("%dw/columnar=%v", workers, columnar)
+			var f clusterFixture
+			for i := 0; i < workers; i++ {
+				s := New(Config{WorkerMode: true, FlightRecorderSize: -1, Columnar: columnar})
+				if err := s.AddLog("eq", "builtin:eq", l); err != nil {
+					t.Fatal(err)
+				}
+				ts := httptest.NewServer(s.Handler())
+				t.Cleanup(ts.Close)
+				f.urls = append(f.urls, ts.URL)
+			}
+			coord := New(Config{Cluster: &cluster.Config{Workers: f.urls}, ProbeInterval: -1})
+			if err := coord.AddLog("eq", "builtin:eq", l); err != nil {
+				t.Fatal(err)
+			}
+
+			var got queryResponse
+			if rec := postQuery(t, coord.Handler(), body, &got); rec.Code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body)
+			}
+			if digestOf(got) != digestOf(want) {
+				t.Fatalf("%s: traced cluster answer diverges from single-node", name)
+			}
+			tr := got.Trace
+			if tr == nil || tr.Spans == nil {
+				t.Fatalf("%s: no stitched trace in the response", name)
+			}
+			if len(tr.TraceID) != 32 {
+				t.Fatalf("%s: trace id %q, want 32 hex chars", name, tr.TraceID)
+			}
+
+			// Every span of the stitched tree is attributed to a process.
+			workerSet := make(map[string]bool)
+			walkSpans(tr.Spans, func(sp *obs.Span) {
+				if sp.Worker == "" {
+					t.Fatalf("%s: span %q has no worker attribution", name, sp.Name)
+				}
+				workerSet[sp.Worker] = true
+			})
+			if !workerSet["coordinator"] {
+				t.Fatalf("%s: no coordinator-attributed spans in %v", name, workerSet)
+			}
+
+			// Each contacted worker's subtree is grafted in, rooted at its
+			// "worker" span, carrying the propagated trace id.
+			grafted := findSpans(tr.Spans, func(sp *obs.Span) bool { return sp.Name == "worker" })
+			if len(grafted) == 0 {
+				t.Fatalf("%s: no grafted worker subtrees", name)
+			}
+			for _, g := range grafted {
+				if !strings.HasPrefix(g.Worker, "http://") {
+					t.Fatalf("%s: grafted subtree attributed to %q, want a worker URL", name, g.Worker)
+				}
+				if got := g.Attrs["trace_id"]; got != tr.TraceID {
+					t.Fatalf("%s: worker subtree ran under trace %v, coordinator sent %s", name, got, tr.TraceID)
+				}
+				if g.Attrs["parent_span_id"] == "" {
+					t.Fatalf("%s: worker subtree has no parent span id", name)
+				}
+			}
+
+			// Coordinator-side stages of the fan-out are spans too.
+			for _, stage := range []string{"scatter", "merge", "transport", "queue-wait"} {
+				if len(findSpans(tr.Spans, func(sp *obs.Span) bool { return sp.Name == stage })) == 0 {
+					t.Fatalf("%s: stitched trace missing the %q stage", name, stage)
+				}
+			}
+
+			// The cost table is the fleet aggregate; under naive every
+			// operator row keeps measured ≤ predicted end to end.
+			if len(tr.CostTable) == 0 {
+				t.Fatalf("%s: no fleet cost table", name)
+			}
+			for _, row := range tr.CostTable {
+				if row.Op != "atom" && row.Comparisons > row.Predicted {
+					t.Errorf("%s: %s: fleet measured %d > predicted %d under naive",
+						name, row.Node, row.Comparisons, row.Predicted)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterTraceStableAcrossRetry: a transport failure burns an attempt
+// but not the trace — the retried request carries the SAME trace id (a fresh
+// span id), and the stitched trace shows both transport attempts plus the
+// backoff between them as sibling spans.
+func TestClusterTraceStableAcrossRetry(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	var flaky faultinject.FlakyRoundTripper
+	var victim string
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		victim = heaviestOwner(c.Workers)
+		flaky = faultinject.FlakyRoundTripper{Match: victim, FailOn: faultinject.OnNthCall(1)}
+		c.Transport = &flaky
+		c.MaxAttempts = 2
+	}, nil)
+
+	var resp queryResponse
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B","trace":true}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retry: %s", rec.Code, rec.Body)
+	}
+	if resp.Trace == nil || resp.Trace.TraceID == "" {
+		t.Fatal("no trace id on the retried query")
+	}
+
+	wspans := findSpans(resp.Trace.Spans, func(sp *obs.Span) bool { return sp.Name == "worker "+victim })
+	if len(wspans) != 1 {
+		t.Fatalf("%d spans for the flaky worker, want 1", len(wspans))
+	}
+	transports := findSpans(wspans[0], func(sp *obs.Span) bool { return sp.Name == "transport" })
+	if len(transports) != 2 {
+		t.Fatalf("%d transport spans for the flaky worker, want the failed + retried pair", len(transports))
+	}
+	if transports[0].Attrs["error"] == nil {
+		t.Fatal("first transport span carries no error annotation")
+	}
+	// Fresh span id per attempt, same trace throughout.
+	if a, b := transports[0].Attrs["span_id"], transports[1].Attrs["span_id"]; a == nil || a == b {
+		t.Fatalf("attempt span ids %v, %v — want distinct non-empty ids", a, b)
+	}
+	if len(findSpans(wspans[0], func(sp *obs.Span) bool { return sp.Name == "backoff" })) != 1 {
+		t.Fatal("no backoff span between the attempts")
+	}
+	// The grafted subtree (under the winning attempt) ran under the query's id.
+	grafted := findSpans(wspans[0], func(sp *obs.Span) bool { return sp.Name == "worker" })
+	if len(grafted) != 1 {
+		t.Fatalf("%d grafted subtrees under the flaky worker, want 1", len(grafted))
+	}
+	if got := grafted[0].Attrs["trace_id"]; got != resp.Trace.TraceID {
+		t.Fatalf("grafted subtree ran under trace %v, want %s", got, resp.Trace.TraceID)
+	}
+	// The capture's per-worker detail records the attempt history.
+	flights := f.coord.flight.List(flightrec.Filter{Worker: victim})
+	if len(flights) != 1 || flights[0].Workers == nil {
+		t.Fatalf("%d captures for the flaky worker, want 1 with detail", len(flights))
+	}
+	for _, d := range flights[0].Workers.PerWorker {
+		if d.Worker == victim && (d.Attempts != 2 || d.Retries != 1 || d.Status != "ok") {
+			t.Fatalf("victim detail = %+v, want 2 attempts / 1 retry / ok", d)
+		}
+	}
+}
+
+// TestClusterTraceHedgeSiblingSpans: a hedged straggler shows up as two
+// sibling transport spans under the worker — the abandoned primary and the
+// winning hedge — and the per-worker capture detail records the hedge win.
+func TestClusterTraceHedgeSiblingSpans(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	var flaky faultinject.FlakyRoundTripper
+	var victim string
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		victim = heaviestOwner(c.Workers)
+		flaky = faultinject.FlakyRoundTripper{Match: victim, BlackholeOn: faultinject.OnNthCall(1)}
+		c.Transport = &flaky
+		c.HedgeAfter = 10 * time.Millisecond
+		c.WorkerTimeout = 30 * time.Second
+	}, nil)
+
+	var resp queryResponse
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B","trace":true}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via hedge: %s", rec.Code, rec.Body)
+	}
+	wspans := findSpans(resp.Trace.Spans, func(sp *obs.Span) bool { return sp.Name == "worker "+victim })
+	if len(wspans) != 1 {
+		t.Fatalf("%d spans for the hedged worker, want 1", len(wspans))
+	}
+	transports := findSpans(wspans[0], func(sp *obs.Span) bool { return sp.Name == "transport" })
+	if len(transports) != 2 {
+		t.Fatalf("%d transport spans, want the primary + hedge pair", len(transports))
+	}
+	var hedge, primary *obs.Span
+	for _, sp := range transports {
+		if sp.Attrs["hedge"] == true {
+			hedge = sp
+		} else {
+			primary = sp
+		}
+	}
+	if hedge == nil || primary == nil {
+		t.Fatal("transport pair is not one primary + one hedge")
+	}
+	if primary.Attrs["abandoned"] != true {
+		t.Fatal("blackholed primary not marked abandoned")
+	}
+	// The worker subtree is grafted under the hedge — the span whose
+	// response was actually used.
+	if len(findSpans(hedge, func(sp *obs.Span) bool { return sp.Name == "worker" })) != 1 {
+		t.Fatal("worker subtree not grafted under the winning hedge")
+	}
+	flights := f.coord.flight.List(flightrec.Filter{})
+	if len(flights) != 1 || flights[0].Workers == nil {
+		t.Fatal("no capture with worker detail")
+	}
+	won := false
+	for _, d := range flights[0].Workers.PerWorker {
+		if d.Worker == victim {
+			won = d.HedgeWon && d.Hedges == 1
+		}
+	}
+	if !won {
+		t.Fatalf("per-worker detail does not record the hedge win: %+v", flights[0].Workers.PerWorker)
+	}
+	if flights[0].Workers.HedgeWins != 1 {
+		t.Fatalf("capture hedge_wins = %d, want 1", flights[0].Workers.HedgeWins)
+	}
+}
+
+// TestClusterTraceRingMismatchExcluded: a stale worker (ring view disagrees
+// with the coordinator's) is excluded from the merge, but the trace survives
+// — same trace id, surviving workers' subtrees grafted, and the stale
+// worker's span annotated with the mismatch.
+func TestClusterTraceRingMismatchExcluded(t *testing.T) {
+	fresh := chaosLog(t, 16, 2)
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	f := newClusterFixture(t, 2, "chaos", fresh, nil, nil)
+	ring := f.coord.Coordinator().Ring()
+	victimIdx, assigned := pickVictim(t, ring, wids)
+	staleSize := 0
+	for j := 1; j < 16; j++ {
+		if len(ring.OwnedWIDs(wids[:j], victimIdx)) != len(assigned) {
+			staleSize = j
+			break
+		}
+	}
+	if staleSize == 0 {
+		t.Fatal("fixture: no stale log size produces a detectable skew")
+	}
+	staleSrv := New(Config{WorkerMode: true, FlightRecorderSize: -1})
+	if err := staleSrv.AddLog("chaos", "builtin:stale", chaosLog(t, staleSize, 2)); err != nil {
+		t.Fatal(err)
+	}
+	victim := f.urls[victimIdx]
+	addr := strings.TrimPrefix(victim, "http://")
+	f.workers[victimIdx].CloseClientConnections()
+	f.workers[victimIdx].Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	stale := &httptest.Server{Listener: ln, Config: &http.Server{Handler: staleSrv.Handler()}}
+	stale.Start()
+	t.Cleanup(stale.Close)
+
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"A -> B","partial":true,"trace":true}`, nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || len(resp.Trace.TraceID) != 32 {
+		t.Fatalf("degraded query lost its trace: %+v", resp.Trace)
+	}
+	// The survivor's subtree is in; the stale worker contributed none.
+	grafted := findSpans(resp.Trace.Spans, func(sp *obs.Span) bool { return sp.Name == "worker" })
+	if len(grafted) == 0 {
+		t.Fatal("no surviving worker subtree in the degraded trace")
+	}
+	for _, g := range grafted {
+		if g.Worker == victim {
+			t.Fatal("the excluded stale worker's subtree was grafted anyway")
+		}
+	}
+	// The mismatch is named on the stale worker's span.
+	mismatched := findSpans(resp.Trace.Spans, func(sp *obs.Span) bool {
+		e, _ := sp.Attrs["error"].(string)
+		return strings.Contains(e, "ring mismatch")
+	})
+	if len(mismatched) == 0 {
+		t.Fatal("no span names the ring mismatch")
+	}
+}
+
+// TestClusterTraceSubtreeCapEnforced: the coordinator's span budget rides
+// the wire, workers prune their trees to it, and the truncation is declared
+// on the subtree root rather than silently absorbed.
+func TestClusterTraceSubtreeCapEnforced(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		c.MaxTraceSpans = 3
+	}, nil)
+	var resp queryResponse
+	rec := postQuery(t, f.coord.Handler(), `{"log":"chaos","query":"(A -> B) | (B -> C)","trace":true}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	grafted := findSpans(resp.Trace.Spans, func(sp *obs.Span) bool { return sp.Name == "worker" })
+	if len(grafted) == 0 {
+		t.Fatal("no grafted worker subtrees")
+	}
+	for _, g := range grafted {
+		if n := obs.CountSpans(g); n > 3 {
+			t.Fatalf("worker subtree has %d spans, cap is 3", n)
+		}
+		if g.Attrs["truncated_spans"] == nil {
+			t.Fatal("capped subtree does not declare its truncation")
+		}
+	}
+}
+
+// TestClusterWorkerTraceEndpoint covers the worker side of propagation in
+// isolation: adopting the traceparent id, stamping its own attribution,
+// honoring the span cap, and minting a fresh id when the header is absent
+// or malformed.
+func TestClusterWorkerTraceEndpoint(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	s, _ := startWorker(t, "chaos", l)
+	h := s.Handler()
+	const self = "http://w1"
+	base := cluster.WorkerQueryRequest{
+		Log: "chaos", Plan: "A -> B", Ring: []string{self, "http://w2"}, Replicas: 64,
+		Self: self, Strategy: "naive", Trace: true,
+	}
+	post := func(t *testing.T, req cluster.WorkerQueryRequest, traceparent string) cluster.WorkerQueryResponse {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := httptest.NewRequest(http.MethodPost, "/v1/worker/query", strings.NewReader(string(body)))
+		if traceparent != "" {
+			r.Header.Set(obs.TraceparentHeader, traceparent)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp cluster.WorkerQueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	t.Run("adopts the propagated trace id", func(t *testing.T) {
+		tid, sid := obs.NewTraceID(), obs.NewSpanID()
+		resp := post(t, base, obs.FormatTraceparent(tid, sid))
+		if resp.TraceID != tid {
+			t.Fatalf("worker answered under trace %q, sent %q", resp.TraceID, tid)
+		}
+		if resp.Spans == nil {
+			t.Fatal("no span tree in the response")
+		}
+		if resp.Spans.Attrs["parent_span_id"] != sid {
+			t.Fatalf("parent_span_id = %v, sent %q", resp.Spans.Attrs["parent_span_id"], sid)
+		}
+		walkSpans(resp.Spans, func(sp *obs.Span) {
+			if sp.Worker != self {
+				t.Fatalf("span %q attributed to %q, want %q", sp.Name, sp.Worker, self)
+			}
+		})
+		if len(resp.CostTable) == 0 {
+			t.Fatal("no cost table on a traced worker response")
+		}
+		for _, row := range resp.CostTable {
+			if row.Op != "atom" && row.Comparisons > row.Predicted {
+				t.Errorf("%s: worker measured %d > predicted %d under naive",
+					row.Node, row.Comparisons, row.Predicted)
+			}
+		}
+	})
+	t.Run("mints a fresh id on a malformed header", func(t *testing.T) {
+		for _, header := range []string{"", "not-a-traceparent"} {
+			resp := post(t, base, header)
+			if len(resp.TraceID) != 32 {
+				t.Fatalf("header %q: trace id %q, want a freshly minted 32-hex id", header, resp.TraceID)
+			}
+		}
+	})
+	t.Run("enforces the span cap", func(t *testing.T) {
+		req := base
+		req.MaxTraceSpans = 2
+		resp := post(t, req, obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID()))
+		if n := obs.CountSpans(resp.Spans); n > 2 {
+			t.Fatalf("returned %d spans, cap is 2", n)
+		}
+		if resp.Spans.Attrs["truncated_spans"] == nil {
+			t.Fatal("capped tree does not declare its truncation")
+		}
+	})
+}
+
+// TestClusterDegradedRunDoesNotFeedStats: the PR 6 hygiene contract across
+// the wire. Workers never flush their registries; the coordinator feeds the
+// fleet table to its registry only when the merge is complete — a degraded
+// 206 must leave the adaptive model untouched.
+func TestClusterDegradedRunDoesNotFeedStats(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, func(c *cluster.Config) {
+		c.MaxAttempts = 1
+		c.WorkerTimeout = 2 * time.Second
+	}, func(c *Config) {
+		c.Adaptive = true
+		c.CacheSize = -1
+	})
+	h := f.coord.Handler()
+	reg := f.coord.statsFor("chaos")
+	if reg == nil {
+		t.Fatal("adaptive coordinator has no stats registry")
+	}
+
+	// A complete distributed run feeds the registry exactly once, via the
+	// fleet table (the coordinator ran no local evaluation to flush).
+	if rec := postQuery(t, h, `{"log":"chaos","query":"A -> B","partial":true}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy status %d: %s", rec.Code, rec.Body)
+	}
+	if got := reg.Queries(); got != 1 {
+		t.Fatalf("registry observed %d queries after a complete run, want 1", got)
+	}
+	// Workers kept their own registries out of it (worker mode never
+	// creates one, but the invariant worth pinning is the count here).
+
+	wids := make([]uint64, 16)
+	for i := range wids {
+		wids[i] = uint64(i + 1)
+	}
+	victim, _ := pickVictim(t, f.coord.Coordinator().Ring(), wids)
+	f.workers[victim].CloseClientConnections()
+	f.workers[victim].Close()
+
+	if rec := postQuery(t, h, `{"log":"chaos","query":"A -> B","partial":true}`, nil); rec.Code != http.StatusPartialContent {
+		t.Fatalf("degraded status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	if got := reg.Queries(); got != 1 {
+		t.Fatalf("degraded 206 polluted the registry: %d queries observed, want still 1", got)
+	}
+}
+
+// TestClusterFlightWorkerFilter: GET /v1/queries?worker= narrows the list
+// to captures that touched the worker, the summaries carry per-worker
+// elapsed/status briefs, and the full capture retains the structured
+// per-worker detail with the trace id.
+func TestClusterFlightWorkerFilter(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, nil, nil)
+	h := f.coord.Handler()
+	if rec := postQuery(t, h, `{"log":"chaos","query":"A -> B"}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	contacted := heaviestOwner(f.urls)
+
+	var doc flightListDoc
+	getJSON(t, h, "/v1/queries?worker="+url.QueryEscape(contacted), &doc)
+	if doc.Count != 1 {
+		t.Fatalf("worker filter matched %d captures, want 1", doc.Count)
+	}
+	briefs := doc.Queries[0].Workers
+	if len(briefs) == 0 {
+		t.Fatal("capture summary has no per-worker briefs")
+	}
+	found := false
+	for _, b := range briefs {
+		if b.Worker == contacted {
+			found = true
+			if b.Status != "ok" || b.ElapsedUS <= 0 {
+				t.Fatalf("brief for %s = %+v, want ok with positive elapsed", contacted, b)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("briefs %+v do not name the contacted worker %s", briefs, contacted)
+	}
+
+	getJSON(t, h, "/v1/queries?worker="+url.QueryEscape("http://nobody:1"), &doc)
+	if doc.Count != 0 {
+		t.Fatalf("unknown-worker filter matched %d captures, want 0", doc.Count)
+	}
+
+	// The full capture carries the structured detail and the trace id that
+	// ties it to the stitched spans.
+	var capture flightrec.Capture
+	getJSON(t, h, fmt.Sprintf("/v1/queries/%d", doc.Captured), &capture)
+	if capture.Workers == nil || len(capture.Workers.PerWorker) == 0 {
+		t.Fatal("full capture has no per-worker detail")
+	}
+	if len(capture.Workers.TraceID) != 32 {
+		t.Fatalf("capture trace id %q, want 32 hex chars", capture.Workers.TraceID)
+	}
+	if capture.Trace == nil || capture.Trace.TraceID != capture.Workers.TraceID {
+		t.Fatal("capture trace and worker summary disagree on the trace id")
+	}
+	for _, d := range capture.Workers.PerWorker {
+		if d.Worker == contacted && d.TraceSpans == 0 {
+			t.Fatalf("contacted worker returned no trace spans: %+v", d)
+		}
+	}
+}
+
+// TestClusterWorkerDurationHistogram: every worker request feeds the
+// per-worker latency histogram, exposed in both the JSON metrics and the
+// prometheus exposition.
+func TestClusterWorkerDurationHistogram(t *testing.T) {
+	l := chaosLog(t, 16, 2)
+	f := newClusterFixture(t, 2, "chaos", l, nil, nil)
+	h := f.coord.Handler()
+	postQuery(t, h, `{"log":"chaos","query":"A -> B"}`, nil)
+
+	contacted := heaviestOwner(f.urls)
+	var total uint64
+	for _, wd := range f.coord.Coordinator().Durations() {
+		if len(wd.Buckets) != len(cluster.DurationBucketsUS)+1 {
+			t.Fatalf("%s: %d buckets, want %d bounds + overflow",
+				wd.Worker, len(wd.Buckets), len(cluster.DurationBucketsUS))
+		}
+		if wd.Worker == contacted && wd.Count == 0 {
+			t.Fatalf("no observations for the contacted worker %s", contacted)
+		}
+		total += wd.Count
+	}
+	if total == 0 {
+		t.Fatal("no duration observations anywhere in the fleet")
+	}
+
+	prom := getJSON(t, h, "/metrics?format=prometheus", nil).Body.String()
+	for _, want := range []string{
+		"# TYPE wlq_worker_query_duration_seconds histogram",
+		fmt.Sprintf("wlq_worker_query_duration_seconds_bucket{worker=%q,le=\"+Inf\"}", contacted),
+		fmt.Sprintf("wlq_worker_query_duration_seconds_count{worker=%q}", contacted),
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}

@@ -35,10 +35,20 @@ type captureSummary struct {
 	Cached     bool             `json:"cached,omitempty"`
 	Sharded    bool             `json:"sharded,omitempty"`
 	HasTrace   bool             `json:"has_trace"`
+	// Workers lists each worker's elapsed/status for distributed captures,
+	// so a slow or lost worker is findable without opening the full trace.
+	Workers []workerBrief `json:"workers,omitempty"`
+}
+
+// workerBrief is the list-view projection of one worker's outcome.
+type workerBrief struct {
+	Worker    string `json:"worker"`
+	Status    string `json:"status"`
+	ElapsedUS int64  `json:"elapsed_us"`
 }
 
 func summarize(c *flightrec.Capture) captureSummary {
-	return captureSummary{
+	cs := captureSummary{
 		ID:         c.ID,
 		Time:       c.Time,
 		Log:        c.Log,
@@ -56,6 +66,16 @@ func summarize(c *flightrec.Capture) captureSummary {
 		Sharded:    c.Sharded,
 		HasTrace:   c.Trace != nil,
 	}
+	if c.Workers != nil {
+		for _, d := range c.Workers.PerWorker {
+			cs.Workers = append(cs.Workers, workerBrief{
+				Worker:    d.Worker,
+				Status:    d.Status,
+				ElapsedUS: d.ElapsedUS,
+			})
+		}
+	}
+	return cs
 }
 
 // flightListDoc is the GET /v1/queries response.
@@ -71,6 +91,7 @@ type flightListDoc struct {
 //
 //	status=ok|partial|budget|panic|timeout|error
 //	log=<name>
+//	worker=<worker base URL>   (distributed captures touching that worker)
 //	min_elapsed_ms=<int>
 //	slow=true
 //	limit=<int>
@@ -83,6 +104,7 @@ func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
 	f := flightrec.Filter{
 		Status: flightrec.Status(q.Get("status")),
 		Log:    q.Get("log"),
+		Worker: q.Get("worker"),
 	}
 	if v := q.Get("min_elapsed_ms"); v != "" {
 		ms, err := strconv.Atoi(v)

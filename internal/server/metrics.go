@@ -295,6 +295,9 @@ type clusterMetricsDoc struct {
 	WorkersSkipped uint64 `json:"workers_skipped"`
 	// WorkerHealth is each worker's probe verdict and breaker state.
 	WorkerHealth []cluster.WorkerHealth `json:"worker_health,omitempty"`
+	// WorkerDurations is each worker's request-duration histogram (the
+	// wlq_worker_query_duration_seconds series).
+	WorkerDurations []cluster.WorkerDurations `json:"worker_durations,omitempty"`
 	// WorkerQueriesServed/WorkerQueryErrors count worker-mode requests this
 	// instance served (and failed) as an upstream.
 	WorkerQueriesServed uint64 `json:"worker_queries_served"`
@@ -333,6 +336,7 @@ func (s *Server) clusterMetrics() *clusterMetricsDoc {
 		doc.HedgeWins = st.HedgeWins
 		doc.WorkersSkipped = st.WorkersSkipped
 		doc.WorkerHealth = s.coord.Health()
+		doc.WorkerDurations = s.coord.Durations()
 	}
 	return doc
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"wlq/internal/cluster"
 )
 
 // Prometheus text exposition (format version 0.0.4) for GET
@@ -171,6 +173,25 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 			counter(cl.WorkerQueriesServed)...)
 		writeFamily(w, "wlq_worker_query_errors_total", "Worker-mode requests this instance failed.", "counter",
 			counter(cl.WorkerQueryErrors)...)
+		// Per-worker request-duration histogram: one labeled series per
+		// worker, cumulative buckets in seconds.
+		if len(cl.WorkerDurations) > 0 {
+			fmt.Fprintf(w, "# HELP wlq_worker_query_duration_seconds Coordinator-observed worker request round-trip time, per worker.\n")
+			fmt.Fprintf(w, "# TYPE wlq_worker_query_duration_seconds histogram\n")
+			for _, wd := range cl.WorkerDurations {
+				var cum uint64
+				for i, le := range cluster.DurationBucketsUS {
+					cum += wd.Buckets[i]
+					fmt.Fprintf(w, "wlq_worker_query_duration_seconds_bucket{worker=%q,le=%q} %d\n",
+						wd.Worker, strconv.FormatFloat(float64(le)/1e6, 'g', -1, 64), cum)
+				}
+				cum += wd.Buckets[len(wd.Buckets)-1]
+				fmt.Fprintf(w, "wlq_worker_query_duration_seconds_bucket{worker=%q,le=\"+Inf\"} %d\n", wd.Worker, cum)
+				fmt.Fprintf(w, "wlq_worker_query_duration_seconds_sum{worker=%q} %s\n",
+					wd.Worker, strconv.FormatFloat(float64(wd.SumUS)/1e6, 'g', -1, 64))
+				fmt.Fprintf(w, "wlq_worker_query_duration_seconds_count{worker=%q} %d\n", wd.Worker, wd.Count)
+			}
+		}
 	}
 
 	// Per-operator Lemma 1 accounting, labeled by operator name.

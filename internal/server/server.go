@@ -894,6 +894,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sp = qtr.StartSpan("eval")
 		var qs eval.QueryStats
 		var set *incident.Set
+		// Distributed runs fill these from the fan-out: the fleet-aggregated
+		// Lemma 1 table (workers measured, coordinator sums) and the
+		// propagated trace id.
+		var fleetTable []obs.CostRow
+		var distTraceID string
 		if s.coord != nil {
 			// Distributed execution: the coordinator fans the optimized plan
 			// out to the workers owning wids (consistent hash placement) and
@@ -908,15 +913,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Limit:    req.Limit,
 				Budget:   s.cfg.Budget,
 			}, &qs)
-			capture.Workers = &flightrec.WorkerSummary{
-				Workers:   fan.Workers,
-				Attempted: fan.Attempted,
-				Succeeded: fan.Succeeded,
-				Failed:    fan.Failed,
-				Skipped:   fan.Skipped,
-				Hedged:    fan.Hedged,
-				Retries:   fan.Retries,
-			}
+			capture.Workers = workerSummaryOf(fan)
+			fleetTable = fan.CostTable
+			distTraceID = fan.TraceID
 			if comp != nil {
 				s.metrics.widsExcluded.Add(uint64(comp.ExcludedWIDs))
 			}
@@ -950,12 +949,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// accounted, which is usually exactly what explains the failure.
 			qtr.End()
 			if qtr != nil {
+				ct := obs.CostTableWith(plan, meter, sel)
+				if len(fleetTable) > 0 {
+					// Distributed: the workers measured; the local meter is
+					// empty. A degraded run's fleet table still reflects only
+					// the merged (complete) worker answers.
+					ct = fleetTable
+				}
+				if distTraceID != "" {
+					obs.StampWorker(qtr.Root(), "coordinator")
+				}
 				capture.Trace = &obs.QueryTrace{
 					Query:     req.Query,
 					Plan:      plan.String(),
 					Strategy:  strategy.String(),
+					TraceID:   distTraceID,
 					Spans:     qtr.Root(),
-					CostTable: obs.CostTableWith(plan, meter, sel),
+					CostTable: ct,
 				}
 			}
 			var be *resilience.BudgetError
@@ -1026,12 +1036,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if qtr != nil {
 			// Built whenever an internal trace exists (flight recorder on or
 			// trace requested); attached to the response only on request.
+			ct := obs.CostTableWith(plan, meter, sel)
+			if len(fleetTable) > 0 {
+				ct = fleetTable
+			}
+			if distTraceID != "" {
+				// Every locally recorded span of a stitched distributed trace
+				// gets coordinator attribution; grafted subtrees keep the
+				// worker stamp they arrived with.
+				obs.StampWorker(qtr.Root(), "coordinator")
+			}
 			queryTrace = &obs.QueryTrace{
 				Query:     req.Query,
 				Plan:      plan.String(),
 				Strategy:  strategy.String(),
+				TraceID:   distTraceID,
 				Spans:     qtr.Root(),
-				CostTable: obs.CostTableWith(plan, meter, sel),
+				CostTable: ct,
 			}
 			capture.Trace = queryTrace
 		}
@@ -1058,12 +1079,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// the selectivity registry. Partial results (lost shards), budget
 		// aborts, panics and timeouts all exited above — their truncated
 		// output counts would read as selectivity and poison later plans.
-		// Distributed runs are excluded too: the evaluation happened on the
-		// workers, so the coordinator's meter is empty and flushing it would
-		// record zero-count snapshots as evidence.
-		if reg := s.statsFor(entry.name); reg != nil && s.coord == nil && (comp == nil || comp.Complete) {
-			meter.Flush(reg)
-			s.saveStats(entry.name)
+		// Distributed runs obey the same contract with a deferred flush:
+		// workers never flush their own registries (they cannot know the
+		// query's final disposition); they carry their measurements back in
+		// the wire cost table, and only here — where a degraded 206 is
+		// distinguishable from a complete answer — does the fleet table feed
+		// the registry.
+		if reg := s.statsFor(entry.name); reg != nil && (comp == nil || comp.Complete) {
+			if s.coord == nil {
+				meter.Flush(reg)
+				s.saveStats(entry.name)
+			} else if ns := nodeStatsFromCostRows(plan, fleetTable); ns != nil {
+				reg.ObserveMeter(ns)
+				s.saveStats(entry.name)
+			}
 		}
 		ce = &cacheEntry{plan: plan, trace: trace, set: set}
 		// A partial result is never cached: a later query must not be served

@@ -13,6 +13,7 @@ import (
 	"wlq/internal/cluster"
 	"wlq/internal/core/eval"
 	"wlq/internal/core/pattern"
+	"wlq/internal/obs"
 	"wlq/internal/resilience"
 )
 
@@ -22,9 +23,13 @@ import (
 //
 // evaluating the coordinator's already-optimized plan verbatim against the
 // wids this worker's ring view assigns it, on its local backend. Workers do
-// not rewrite, cache, or record flights for coordinator traffic — the
-// coordinator owns the query lifecycle; a worker is a remote failure domain
-// with an evaluator, deliberately as thin as an in-process shard.
+// not rewrite, cache, record flights, or flush statistics for coordinator
+// traffic — the coordinator owns the query lifecycle; a worker is a remote
+// failure domain with an evaluator, deliberately as thin as an in-process
+// shard. When the request asks for tracing the worker does run an
+// obs.Trace (under the coordinator's propagated trace id) and ships the
+// span tree and cost table back, but the measurements are the
+// coordinator's to act on.
 
 // decodeJSON decodes a wire document. Unknown fields are tolerated: during
 // a rolling upgrade the coordinator and workers may briefly speak adjacent
@@ -65,6 +70,25 @@ func (s *Server) handleWorkerQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, cluster.WorkerErrorDoc{Error: "malformed worker request: " + err.Error()})
 		return
 	}
+	// Distributed tracing: when the coordinator asks, run the evaluation
+	// under an obs.Trace adopting the propagated trace id and return the
+	// span tree + Lemma 1 cost table in the response. The worker does NOT
+	// flush the meter into its own statistics registry — only the
+	// coordinator knows the query's final disposition (complete vs degraded
+	// 206), so the PR 6 hygiene gate must run there, over the fleet table.
+	var (
+		tr    *obs.Trace
+		meter *eval.Meter
+	)
+	if req.Trace {
+		tr = obs.NewTrace("worker")
+		if tid, psid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			tr.SetID(tid)
+			tr.Root().SetAttr("parent_span_id", psid)
+		}
+		tr.Root().SetAttr("trace_id", tr.ID())
+	}
+	prep := tr.StartSpan("prepare")
 	entry, err := s.lookup(req.Log)
 	if err != nil {
 		fail(http.StatusNotFound, cluster.WorkerErrorDoc{Error: err.Error()})
@@ -80,6 +104,9 @@ func (s *Server) handleWorkerQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, cluster.WorkerErrorDoc{Error: err.Error()})
 		return
 	}
+	if tr != nil {
+		meter = eval.NewMeter(p)
+	}
 	// Placement is self-derived: the ring parameters in the request rebuild
 	// the coordinator's ring bit-for-bit (FNV-1a, stable across processes),
 	// and this worker evaluates exactly the wids that ring assigns it. The
@@ -93,12 +120,17 @@ func (s *Server) handleWorkerQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owned := ring.OwnedWIDs(entry.ix.WIDs(), self)
+	prep.SetAttr("wids_owned", len(owned))
+	prep.End()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	opts := eval.Options{Strategy: strategy, Limit: req.Limit, Budget: req.Budget.Budget()}
+	ctx = obs.WithTrace(ctx, tr)
+	opts := eval.Options{Strategy: strategy, Limit: req.Limit, Meter: meter, Budget: req.Budget.Budget()}
 	var qs eval.QueryStats
+	esp := tr.StartSpan("eval")
 	set, err := eval.New(entry.ix, opts).EvalWIDsCtx(ctx, p, owned, &qs)
+	esp.End()
 	if err != nil {
 		var be *resilience.BudgetError
 		var pe *resilience.PanicError
@@ -138,11 +170,28 @@ func (s *Server) handleWorkerQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.instancesEvaluated.Add(uint64(qs.Instances))
-	writeJSON(w, http.StatusOK, cluster.WorkerQueryResponse{
+	resp := cluster.WorkerQueryResponse{
 		Worker:    req.Self,
 		WIDsOwned: len(owned),
 		Instances: qs.Instances,
 		Incidents: cluster.FromIncidents(set.Incidents()),
 		ElapsedUS: time.Since(started).Microseconds(),
-	})
+	}
+	if tr != nil {
+		obs.EvalSpans(esp, p, meter)
+		esp.SetAttr("instances", qs.Instances)
+		esp.SetAttr("incidents", len(resp.Incidents))
+		tr.End()
+		root := tr.Root()
+		obs.StampWorker(root, req.Self)
+		max := req.MaxTraceSpans
+		if max <= 0 {
+			max = cluster.DefaultMaxTraceSpans
+		}
+		obs.CapSpans(root, max)
+		resp.TraceID = tr.ID()
+		resp.Spans = root
+		resp.CostTable = obs.CostTable(p, meter)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Multi-process cluster smoke test: a coordinator and three workers as real
 # separate processes on loopback. One worker is killed mid-run; the
-# coordinator must degrade to a 206 whose completeness names the loss and
+# coordinator must degrade to a 206 whose completeness names the loss, whose
+# flight-recorder capture records the victim as failed alongside a stitched
+# cross-process trace with worker-attributed spans from the survivors, and
 # flag the worker on /readyz; after the worker rejoins, the same query must
 # answer 200 with a digest equal to a single-node server's. This is the
 # process-level twin of internal/server/cluster_test.go — same contract, no
@@ -106,6 +108,42 @@ assert any(f.get("worker") == victim for f in fails), f"victim {victim} not name
 assert comp["excluded_wids"] > 0, "no wids reported excluded"
 ' "$workdir/degraded.json" "http://127.0.0.1:$W2_PORT"
 say "degraded 206 names the lost worker and its wid ranges"
+
+say "flight capture of the kill must carry stitched spans from the survivors"
+curl -fsS "http://127.0.0.1:$COORD_PORT/v1/queries?status=partial&worker=http://127.0.0.1:$W2_PORT" \
+  >"$workdir/flights.json"
+cap_id=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+qs = doc.get("queries") or sys.exit("no partial capture lists the lost worker")
+print(qs[0]["id"])
+' "$workdir/flights.json")
+curl -fsS "http://127.0.0.1:$COORD_PORT/v1/queries/$cap_id" >"$workdir/capture.json"
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+victim = sys.argv[2]
+ws = doc.get("workers") or sys.exit("capture has no workers summary")
+per = ws.get("per_worker") or sys.exit("capture has no per-worker detail")
+lost = [d for d in per if d["worker"] == victim]
+assert lost and lost[0]["status"] == "failed", f"victim not recorded as failed: {per}"
+tid = ws.get("trace_id") or ""
+assert len(tid) == 32, f"no propagated trace id: {tid!r}"
+trace = doc.get("trace") or sys.exit("capture has no stitched trace")
+assert trace.get("trace_id") == ws["trace_id"], "capture trace and summary disagree on the trace id"
+
+def walk(span):
+    yield span
+    for c in span.get("children") or []:
+        yield from walk(c)
+
+spans = list(walk(trace["spans"]))
+assert all(s.get("worker") for s in spans), "stitched span without worker attribution"
+grafted = [s for s in spans if s["name"] == "worker" and s.get("worker", "").startswith("http://")]
+assert grafted, "no surviving worker subtree grafted into the trace"
+assert all(s["worker"] != victim for s in grafted), "the dead worker contributed a subtree"
+' "$workdir/capture.json" "http://127.0.0.1:$W2_PORT"
+say "capture carries the victim as failed and worker-attributed spans from the survivors"
 
 say "waiting for /readyz to report the loss"
 for i in $(seq 1 30); do
