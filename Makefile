@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench bench-report bench-smoke cluster-smoke experiments examples fuzz clean
+.PHONY: all build vet test test-race cover bench bench-report bench-smoke cluster-smoke ingest-smoke experiments examples fuzz clean
 
 all: build vet test
 
@@ -54,6 +54,13 @@ bench-smoke:
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
+# Crash-recovery smoke: a live-ingest server is SIGKILLed mid-append and
+# restarted on the same WAL; the recovered state must answer digest-equal
+# to a control server fed exactly the durable prefix. CI runs this on every
+# push.
+ingest-smoke:
+	./scripts/ingest_crash_smoke.sh
+
 # Regenerate the EXPERIMENTS.md tables (E1-E12).
 experiments:
 	$(GO) run ./cmd/wlq-bench
@@ -72,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/core/pattern/
 	$(GO) test -fuzz=FuzzDecodeText -fuzztime=30s ./internal/logio/
 	$(GO) test -fuzz=FuzzDecodeJSONL -fuzztime=30s ./internal/logio/
+	$(GO) test -fuzz=FuzzScanSegment -fuzztime=30s ./internal/wal/
 
 clean:
 	$(GO) clean ./...

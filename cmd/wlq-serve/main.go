@@ -7,6 +7,7 @@
 //	wlq-serve -log referrals.jsonl
 //	wlq-serve -log clinic=clinic:2000:7 -log fig3=fig3 -addr :8080
 //	wlq-serve -log big.jsonl -workers 8 -cache 1024 -timeout 5s
+//	wlq-serve -log live.jsonl -ingest -wal-dir /var/lib/wlq/wal        (live appends)
 //	wlq-serve -log big.jsonl -worker -addr :9001                      (cluster worker)
 //	wlq-serve -log big.jsonl -cluster-workers http://w1:9001,http://w2:9002
 //	                                                                   (cluster coordinator)
@@ -53,6 +54,7 @@ import (
 	"wlq"
 	"wlq/internal/cluster"
 	"wlq/internal/server"
+	"wlq/internal/wal"
 )
 
 // logFlags collects repeated -log arguments.
@@ -132,6 +134,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxTraceSpans = fs.Int("max-trace-spans", 0,
 			"cap on the span subtree each worker may return on a traced query; oversized trees are pruned and annotated (0 = default 2048)")
 
+		ingestOn = fs.Bool("ingest", false,
+			"accept live appends on POST /v1/logs/{name}/append, made durable through a per-log write-ahead log before they are applied or acknowledged (requires -wal-dir; incompatible with -worker and -cluster-workers)")
+		walDir = fs.String("wal-dir", "",
+			"directory holding one WAL subdirectory per log; replayed over the loaded snapshot at startup to recover acknowledged appends")
+		fsyncMode = fs.String("fsync", "always",
+			"WAL durability policy: always (fsync every append), interval (group fsync on a timer), never (OS page cache only)")
+		fsyncInterval = fs.Duration("fsync-interval", 0,
+			"group-fsync period for -fsync=interval (0 = default 100ms)")
+		walSegmentBytes = fs.Int64("wal-segment-bytes", 0,
+			"rotate WAL segments at this size (0 = default 64MiB)")
+		ingestQueue = fs.Int("ingest-queue", 0,
+			"pending appends admitted per log before backpressure sheds with 429 (0 = default 256)")
+
 		shards = fs.Int("shards", 0,
 			"evaluate each query across this many isolated wid-range failure domains with per-shard retries and circuit breakers; a lost shard degrades the result instead of failing it (0 = off, negative = GOMAXPROCS)")
 		shardAttempts = fs.Int("shard-attempts", 0,
@@ -154,6 +169,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		if len(logs) != 1 {
 			return errors.New("-stats-file requires exactly one -log (per-log defaults apply otherwise)")
+		}
+	}
+
+	// Live ingestion. Validated here, like the cluster flags, so a bad
+	// combination is an error message rather than a server.New panic.
+	var fsyncPolicy wal.Policy
+	if *ingestOn {
+		if *worker || *clusterWorkers != "" {
+			return errors.New("-ingest is incompatible with -worker and -cluster-workers (appends are single-node; see docs/DURABILITY.md)")
+		}
+		if *walDir == "" {
+			return errors.New("-ingest requires -wal-dir (appends are acknowledged only after they are durable)")
+		}
+		var err error
+		if fsyncPolicy, err = wal.ParsePolicy(*fsyncMode); err != nil {
+			return fmt.Errorf("-fsync: %w", err)
 		}
 	}
 
@@ -216,6 +247,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		WorkerMode:       *worker,
 		Cluster:          clusterCfg,
 		ProbeInterval:    *probeInterval,
+		Ingest:           *ingestOn,
+		WALDir:           *walDir,
+		FsyncPolicy:      fsyncPolicy,
+		FsyncInterval:    *fsyncInterval,
+		WALSegmentBytes:  *walSegmentBytes,
+		IngestQueue:      *ingestQueue,
 	}
 	if *flightSize > 0 {
 		cfg.FlightRecorderSize = *flightSize
@@ -259,6 +296,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *worker {
 		fmt.Fprintln(out, "worker mode: serving POST /v1/worker/query")
 	}
+	if *ingestOn {
+		fmt.Fprintf(out, "live ingestion on: WAL under %s (fsync %s)\n", *walDir, *fsyncMode)
+	}
 
 	// SIGHUP triggers a hot reload of every log (same pass as POST
 	// /v1/reload): a log that fails to load or validate is quarantined and
@@ -283,7 +323,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}()
 
-	return serve(ctx, *addr, *drain, srv.Handler(), out)
+	err := serve(ctx, *addr, *drain, srv.Handler(), out)
+	// Close the WALs only after the listener has drained: an in-flight append
+	// acknowledged over a closed WAL would be a durability lie.
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // serve listens until ctx is cancelled, then drains in-flight requests.

@@ -1,0 +1,114 @@
+package colstore
+
+import (
+	"sort"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/wlog"
+)
+
+// LiveStore is the appendable columnar-symbol backend for live ingestion.
+// The immutable Store trades mutability for its CSR layout; a growing log
+// needs the opposite trade, so LiveStore keeps the row backend's
+// per-instance record slices (via an embedded eval.Index, which already
+// maintains the Algorithm 2 structures incrementally) and layers the
+// columnar path's defining optimization on top: interned activity symbols
+// with per-instance posting lists, so the evaluator's SymbolicSource fast
+// path — integer-keyed probes, no string hashing in the loops — keeps
+// working while records arrive.
+//
+// Like every eval.Source it must be immutable while read; the
+// stream.Monitor's lock provides that window. Append must not run
+// concurrently with reads (same contract as eval.Index.Append).
+type LiveStore struct {
+	ix   *eval.Index
+	syms *SymbolTable
+	// seqs holds, per instance, the ascending is-lsn list of each activity
+	// symbol — the live twin of the Store's posting lists.
+	seqs map[uint64]map[int32][]uint64
+}
+
+// NewLiveStore returns an empty appendable columnar backend.
+func NewLiveStore() *LiveStore {
+	return &LiveStore{
+		ix:   eval.NewEmptyIndex(),
+		syms: NewSymbolTable(),
+		seqs: make(map[uint64]map[int32][]uint64),
+	}
+}
+
+// BuildLive constructs a LiveStore holding l's records — the appendable
+// counterpart of Build, used as the base snapshot under live ingestion.
+func BuildLive(l *wlog.Log) *LiveStore {
+	s := NewLiveStore()
+	for i := 0; i < l.Len(); i++ {
+		s.Append(l.Record(i))
+	}
+	return s
+}
+
+// Append maintains the index and the symbol posting lists for one record.
+// Records must arrive in lsn order with is-lsn dense per instance (the
+// stream.Monitor validates; Append trusts).
+func (s *LiveStore) Append(r wlog.Record) {
+	s.ix.Append(r)
+	sym := s.syms.Intern(r.Activity)
+	inst := s.seqs[r.WID]
+	if inst == nil {
+		inst = make(map[int32][]uint64)
+		s.seqs[r.WID] = inst
+	}
+	inst[sym] = append(inst[sym], r.Seq)
+}
+
+// WIDs implements eval.Source.
+func (s *LiveStore) WIDs() []uint64 { return s.ix.WIDs() }
+
+// InstanceLen implements eval.Source.
+func (s *LiveStore) InstanceLen(wid uint64) int { return s.ix.InstanceLen(wid) }
+
+// Instance implements eval.Source.
+func (s *LiveStore) Instance(wid uint64) []wlog.Record { return s.ix.Instance(wid) }
+
+// Record implements eval.Source.
+func (s *LiveStore) Record(wid, seq uint64) (wlog.Record, bool) { return s.ix.Record(wid, seq) }
+
+// ActivitySeqs implements eval.Source through the symbol path.
+func (s *LiveStore) ActivitySeqs(wid uint64, act string) []uint64 {
+	sym, ok := s.syms.Resolve(act)
+	if !ok {
+		return nil
+	}
+	return s.seqs[wid][sym]
+}
+
+// ActivityCount implements eval.Source.
+func (s *LiveStore) ActivityCount(act string) int { return s.ix.ActivityCount(act) }
+
+// TotalRecords implements eval.Source.
+func (s *LiveStore) TotalRecords() int { return s.ix.TotalRecords() }
+
+// Activities implements eval.Source. The symbol table is in first-seen
+// order, so sort a copy.
+func (s *LiveStore) Activities() []string {
+	names := make([]string, s.syms.Len())
+	for i := range names {
+		names[i] = s.syms.Name(int32(i))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResolveActivity implements eval.SymbolicSource.
+func (s *LiveStore) ResolveActivity(name string) (int32, bool) { return s.syms.Resolve(name) }
+
+// ActivitySeqsSym implements eval.SymbolicSource.
+func (s *LiveStore) ActivitySeqsSym(wid uint64, sym int32) []uint64 { return s.seqs[wid][sym] }
+
+// Symbols exposes the intern table (observability parity with Store).
+func (s *LiveStore) Symbols() *SymbolTable { return s.syms }
+
+// LiveStore serves the evaluator's symbolic fast path; it also satisfies
+// stream.Backend (asserted in internal/ingest, keeping the storage layer
+// free of runtime-package imports).
+var _ eval.SymbolicSource = (*LiveStore)(nil)

@@ -1,0 +1,93 @@
+package colstore
+
+import (
+	"testing"
+
+	"wlq/internal/core/eval"
+	"wlq/internal/core/rewrite"
+)
+
+// The live (appendable) columnar backend joins the same equivalence bar as
+// the immutable one: for every query, a LiveStore fed record-by-record must
+// answer identically to the row backend and to a Store built in one shot —
+// that is the proof that incremental Algorithm 2 maintenance preserves the
+// columnar-symbol fast path.
+func TestLiveStoreEquivalence(t *testing.T) {
+	for logName, l := range equivalenceLogs(t) {
+		ix := eval.NewIndex(l)
+		cs := Build(l)
+		ls := BuildLive(l)
+		for _, q := range equivalenceQueries {
+			for _, rewritten := range []bool{false, true} {
+				name := logName + "/" + q
+				if rewritten {
+					name += "/rewritten"
+				}
+				t.Run(name, func(t *testing.T) {
+					rowP, colP, liveP := parse(t, q), parse(t, q), parse(t, q)
+					if rewritten {
+						rowP, _ = rewrite.Optimize(rowP, ix)
+						colP, _ = rewrite.Optimize(colP, cs)
+						liveP, _ = rewrite.Optimize(liveP, ls)
+					}
+					want := eval.New(ix, eval.Options{}).Eval(rowP)
+					batch := eval.New(cs, eval.Options{}).Eval(colP)
+					live := eval.New(ls, eval.Options{}).Eval(liveP)
+					if !want.Equal(live) {
+						t.Fatalf("live columnar diverges from row:\nrow:  %s\nlive: %s", want, live)
+					}
+					if !batch.Equal(live) {
+						t.Fatalf("live columnar diverges from batch columnar:\nbatch: %s\nlive:  %s", batch, live)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The appendable backend must report the same planner statistics and
+// symbolic resolution as the batch build, or the optimizer would pick
+// different plans live vs. reloaded.
+func TestLiveStoreStatsAndSymbols(t *testing.T) {
+	for logName, l := range equivalenceLogs(t) {
+		cs := Build(l)
+		ls := BuildLive(l)
+		t.Run(logName, func(t *testing.T) {
+			if cs.TotalRecords() != ls.TotalRecords() {
+				t.Fatalf("TotalRecords: batch %d live %d", cs.TotalRecords(), ls.TotalRecords())
+			}
+			acts := cs.Activities()
+			liveActs := ls.Activities()
+			if len(acts) != len(liveActs) {
+				t.Fatalf("Activities: batch %v live %v", acts, liveActs)
+			}
+			for i, a := range acts {
+				if liveActs[i] != a {
+					t.Fatalf("Activities[%d]: batch %q live %q", i, a, liveActs[i])
+				}
+				if cs.ActivityCount(a) != ls.ActivityCount(a) {
+					t.Fatalf("ActivityCount(%q): batch %d live %d", a, cs.ActivityCount(a), ls.ActivityCount(a))
+				}
+				if _, ok := ls.ResolveActivity(a); !ok {
+					t.Fatalf("live backend cannot resolve %q", a)
+				}
+			}
+			if _, ok := ls.ResolveActivity("NoSuchActivity"); ok {
+				t.Fatal("live backend resolved an absent activity")
+			}
+			for _, wid := range cs.WIDs() {
+				for _, a := range acts {
+					want := cs.ActivitySeqs(wid, a)
+					got := ls.ActivitySeqs(wid, a)
+					if len(want) != len(got) {
+						t.Fatalf("ActivitySeqs(%d,%q): batch %v live %v", wid, a, want, got)
+					}
+					sym, _ := ls.ResolveActivity(a)
+					if symSeqs := ls.ActivitySeqsSym(wid, sym); len(symSeqs) != len(want) {
+						t.Fatalf("ActivitySeqsSym(%d,%q): %v want len %d", wid, a, symSeqs, len(want))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FaultyFile wraps an *os.File with deterministic write-path faults for the
+// WAL durability tests: a short write at an exact call ordinal, an fsync
+// that fails on an exact call ordinal, and a hard error after an exact
+// number of bytes. It implements wal.File (declared structurally there, so
+// this package stays import-free of wal). Faults compose; each fires
+// independently. Safe for concurrent use.
+type FaultyFile struct {
+	mu sync.Mutex
+	f  *os.File
+
+	// shortOn fires a short write (half the buffer, no error beyond
+	// io.ErrShortWrite semantics left to the caller) on the nth Write.
+	shortOn *NthCall
+	// syncFailOn fails Sync with ErrInjected on the nth call.
+	syncFailOn *NthCall
+	// errAfter, when >= 0, fails any Write that would push the byte total
+	// past the limit, after writing the bytes that fit — a disk running out
+	// mid-frame.
+	errAfter int64
+	written  int64
+}
+
+// NewFaultyFile wraps f with no faults armed.
+func NewFaultyFile(f *os.File) *FaultyFile {
+	return &FaultyFile{f: f, errAfter: -1}
+}
+
+// ShortWriteOnNth arms a short write on the nth Write call (1-based): only
+// half the buffer reaches the file and the call reports the truncated count
+// with a nil error, the POSIX short-write shape callers must handle.
+func (ff *FaultyFile) ShortWriteOnNth(n uint64) *FaultyFile {
+	ff.shortOn = OnNthCall(n)
+	return ff
+}
+
+// FailSyncOnNth arms an fsync failure on the nth Sync call (1-based).
+func (ff *FaultyFile) FailSyncOnNth(n uint64) *FaultyFile {
+	ff.syncFailOn = OnNthCall(n)
+	return ff
+}
+
+// ErrorAfterBytes arms a hard write failure once limit bytes have been
+// written: the Write that crosses the limit persists only the bytes that
+// fit, then fails with an error wrapping ErrInjected.
+func (ff *FaultyFile) ErrorAfterBytes(limit int64) *FaultyFile {
+	ff.errAfter = limit
+	return ff
+}
+
+// Write applies armed write faults, otherwise passes through.
+func (ff *FaultyFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.shortOn.Hit() {
+		n, err := ff.f.Write(p[:len(p)/2])
+		ff.written += int64(n)
+		return n, err
+	}
+	if ff.errAfter >= 0 && ff.written+int64(len(p)) > ff.errAfter {
+		fits := ff.errAfter - ff.written
+		if fits < 0 {
+			fits = 0
+		}
+		n, _ := ff.f.Write(p[:fits])
+		ff.written += int64(n)
+		return n, fmt.Errorf("write failed after byte limit: %w", ErrInjected)
+	}
+	n, err := ff.f.Write(p)
+	ff.written += int64(n)
+	return n, err
+}
+
+// Sync applies an armed fsync fault, otherwise passes through.
+func (ff *FaultyFile) Sync() error {
+	if ff.syncFailOn.Hit() {
+		return fmt.Errorf("fsync failed: %w", ErrInjected)
+	}
+	return ff.f.Sync()
+}
+
+// Truncate passes through (recovery-path truncation is never faulted here;
+// arm it by closing the file first if a test needs it to fail).
+func (ff *FaultyFile) Truncate(size int64) error { return ff.f.Truncate(size) }
+
+// Close passes through.
+func (ff *FaultyFile) Close() error { return ff.f.Close() }
+
+// PanicAtPoint returns a crash-point hook that panics when the named point
+// fires for the nth time — plugged into wal.Options.Hook it simulates a
+// process death at an exact instruction boundary ("append:framed" = before
+// any bytes hit the file, "append:written" = frame written but possibly not
+// synced). The panic value wraps ErrInjected context for recognition in
+// recover().
+func PanicAtPoint(point string, n uint64) func(string) {
+	c := OnNthCall(n)
+	return func(p string) {
+		if p == point && c.Hit() {
+			panic(fmt.Sprintf("crash injected at %s", point))
+		}
+	}
+}

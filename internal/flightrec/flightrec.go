@@ -55,6 +55,10 @@ type Capture struct {
 	// before and after a hot reload carry different generations.
 	Log        string `json:"log,omitempty"`
 	Generation uint64 `json:"generation"`
+	// IngestLSN is the live log's applied high-water mark at evaluation
+	// time (0 for static logs): under live ingestion the generation alone
+	// no longer pins the data a capture saw, the watermark does.
+	IngestLSN uint64 `json:"ingest_lsn,omitempty"`
 	// Backend is the storage engine that served the query: "row" or
 	// "columnar".
 	Backend string `json:"backend,omitempty"`

@@ -1,0 +1,317 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"wlq/internal/stream"
+	"wlq/internal/wlog"
+)
+
+func mk(lsn, wid, seq uint64, act string) wlog.Record {
+	return wlog.Record{LSN: lsn, WID: wid, Seq: seq, Activity: act}
+}
+
+// A small two-instance stream obeying Definition 2.
+func sampleStream() []wlog.Record {
+	return []wlog.Record{
+		mk(1, 1, 1, "START"),
+		mk(2, 2, 1, "START"),
+		mk(3, 1, 2, "CheckIn"),
+		mk(4, 2, 2, "CheckIn"),
+		mk(5, 1, 3, "SeeDoctor"),
+		mk(6, 1, 4, "END"),
+		mk(7, 2, 3, "END"),
+	}
+}
+
+func openEmpty(t *testing.T, dir string, cfg Config) *Coordinator {
+	t.Helper()
+	cfg.Dir = dir
+	c, _, err := Open(nil, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+func TestAppendAssignsAndAppliesLSN(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		c := openEmpty(t, t.TempDir(), Config{Columnar: columnar})
+		defer c.Close()
+		for i, r := range sampleStream() {
+			r.LSN = 0 // server-assigned
+			lsn, err := c.Append(r)
+			if err != nil {
+				t.Fatalf("columnar=%v Append %d: %v", columnar, i, err)
+			}
+			if lsn != uint64(i+1) {
+				t.Fatalf("columnar=%v assigned lsn %d, want %d", columnar, lsn, i+1)
+			}
+		}
+		set, err := c.Monitor().Query("CheckIn -> SeeDoctor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Len() != 1 {
+			t.Fatalf("columnar=%v query over appended records: %s", columnar, set)
+		}
+		st := c.Stats()
+		if st.Accepted != 7 || st.LastLSN != 7 || st.WAL.Appends != 7 {
+			t.Fatalf("stats = %+v", st)
+		}
+	}
+}
+
+func TestExplicitLSNOptimisticConcurrency(t *testing.T) {
+	c := openEmpty(t, t.TempDir(), Config{})
+	defer c.Close()
+	if _, err := c.Append(mk(1, 1, 1, "START")); err != nil {
+		t.Fatal(err)
+	}
+	// Stale watermark: lsn 1 again must be refused as a discipline error.
+	var re *RejectError
+	if _, err := c.Append(mk(1, 1, 2, "A")); !errors.As(err, &re) {
+		t.Fatalf("stale lsn: %v, want *RejectError", err)
+	}
+	if !errors.Is(re, stream.ErrBadLSN) {
+		t.Fatalf("stale lsn wrapped %v, want ErrBadLSN", re.Err)
+	}
+	// Exactly-next lsn is accepted.
+	if _, err := c.Append(mk(2, 1, 2, "A")); err != nil {
+		t.Fatalf("exact next lsn refused: %v", err)
+	}
+}
+
+func TestRejectNamesOffendingRecord(t *testing.T) {
+	c := openEmpty(t, t.TempDir(), Config{})
+	defer c.Close()
+	if _, err := c.Append(mk(1, 1, 1, "START")); err != nil {
+		t.Fatal(err)
+	}
+	// seq 3 skips seq 2: Definition 2 violation.
+	bad := mk(0, 1, 3, "CheckIn")
+	_, err := c.Append(bad)
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want *RejectError", err)
+	}
+	if re.Record.WID != 1 || re.Record.Seq != 3 {
+		t.Fatalf("reject names wrong record: %+v", re.Record)
+	}
+	if !errors.Is(err, stream.ErrBadSeq) {
+		t.Fatalf("reject reason %v, want ErrBadSeq", err)
+	}
+	// The refused record must NOT be in the WAL: restart sees only lsn 1.
+	c.Close()
+	c2, _, err := Open(nil, Config{Dir: c.cfg.Dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.LastLSN() != 1 {
+		t.Fatalf("rejected record leaked into the WAL: lastLSN %d", c2.LastLSN())
+	}
+	if st := c2.Stats(); st.Replayed != 1 {
+		t.Fatalf("restart replay: %+v", st)
+	}
+}
+
+func TestCrashRecoveryReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	c := openEmpty(t, dir, Config{})
+	for _, r := range sampleStream() {
+		if _, err := c.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulated kill -9: the coordinator is abandoned, never closed.
+	want, err := c.Monitor().Query("CheckIn -> SeeDoctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, rec, err := Open(nil, Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer c2.Close()
+	if rec.Records != 7 || c2.LastLSN() != 7 {
+		t.Fatalf("recovered %d records, lastLSN %d", rec.Records, c2.LastLSN())
+	}
+	got, err := c2.Monitor().Query("CheckIn -> SeeDoctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("post-recovery answers diverge:\nbefore: %s\nafter:  %s", want, got)
+	}
+	// Appends continue after the recovered watermark.
+	if _, err := c2.Append(mk(0, 3, 1, "START")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestReplayDedupAgainstBaseSnapshot(t *testing.T) {
+	// The WAL holds lsn 1..7; the base snapshot already contains 1..5
+	// (an operator snapshotted mid-stream). Replay must apply only 6..7.
+	dir := t.TempDir()
+	c := openEmpty(t, dir, Config{})
+	all := sampleStream()
+	for _, r := range all {
+		if _, err := c.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	base, err := wlog.New(all[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := Open(base, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st := c2.Stats()
+	if st.Replayed != 2 || st.Deduped != 5 {
+		t.Fatalf("dedup replay: %+v", st)
+	}
+	if c2.Monitor().Records() != 7 {
+		t.Fatalf("double-applied records: %d", c2.Monitor().Records())
+	}
+}
+
+func TestRebaseReplaysWALOverReload(t *testing.T) {
+	// Reload-vs-append: rebase onto the same snapshot must keep the WAL's
+	// extra records (and a second rebase is idempotent).
+	dir := t.TempDir()
+	all := sampleStream()
+	base, err := wlog.New(all[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := Open(base, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, r := range all[5:] {
+		if _, err := c.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 1; pass <= 2; pass++ {
+		if err := c.Rebase(base); err != nil {
+			t.Fatalf("rebase pass %d: %v", pass, err)
+		}
+		if c.Monitor().Records() != 7 || c.LastLSN() != 7 {
+			t.Fatalf("rebase pass %d dropped appends: %d records, lsn %d",
+				pass, c.Monitor().Records(), c.LastLSN())
+		}
+	}
+}
+
+func TestRebaseConflictLeavesCoordinatorUntouched(t *testing.T) {
+	dir := t.TempDir()
+	c := openEmpty(t, dir, Config{})
+	for _, r := range sampleStream() {
+		if _, err := c.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer c.Close()
+	// A "reloaded" snapshot where wid 1 already ENDed at lsn 2: the WAL's
+	// lsn 3 (wid 1, CheckIn) cannot follow it.
+	conflicting, err := wlog.New([]wlog.Record{
+		mk(1, 1, 1, "START"),
+		mk(2, 1, 2, "END"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Rebase(conflicting)
+	if err == nil {
+		t.Fatal("conflicting rebase accepted")
+	}
+	if !errors.Is(err, stream.ErrBadSeq) && !errors.Is(err, stream.ErrBadLSN) {
+		t.Fatalf("conflict error %v does not carry a discipline cause", err)
+	}
+	// The live monitor still answers from the pre-rebase state.
+	if c.Monitor().Records() != 7 {
+		t.Fatalf("failed rebase mutated the monitor: %d records", c.Monitor().Records())
+	}
+}
+
+func TestBackpressureShedsWithErrBusy(t *testing.T) {
+	c := openEmpty(t, t.TempDir(), Config{Queue: 1})
+	defer c.Close()
+	// Hold the only queue slot; the next append must shed deterministically.
+	if !c.Admission().TryAcquire() {
+		t.Fatal("could not occupy the queue slot")
+	}
+	_, err := c.Append(mk(1, 1, 1, "START"))
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated append: %v, want ErrBusy", err)
+	}
+	c.Admission().Release()
+	if _, err := c.Append(mk(1, 1, 1, "START")); err != nil {
+		t.Fatalf("append after release: %v", err)
+	}
+	if st := c.Stats(); st.Shed != 1 || st.QueueCapacity != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOnApplyRunsPerAcceptedRecord(t *testing.T) {
+	var applied []uint64
+	cfg := Config{OnApply: func(r wlog.Record) { applied = append(applied, r.LSN) }}
+	c := openEmpty(t, t.TempDir(), cfg)
+	defer c.Close()
+	if _, err := c.Append(mk(0, 1, 1, "START")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(mk(0, 1, 5, "A")); err == nil { // rejected
+		t.Fatal("bad record accepted")
+	}
+	if _, err := c.Append(mk(0, 1, 2, "A")); err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 || applied[0] != 1 || applied[1] != 2 {
+		t.Fatalf("OnApply saw %v, want [1 2]", applied)
+	}
+}
+
+func TestConcurrentAppendersSerialize(t *testing.T) {
+	// Many goroutines race to append server-assigned records for distinct
+	// wids; every accepted record must get a unique lsn and the final log
+	// must be discipline-clean (provable by a clean restart replay).
+	dir := t.TempDir()
+	c := openEmpty(t, dir, Config{})
+	const n = 40
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(wid uint64) {
+			_, err := c.Append(wlog.Record{WID: wid, Seq: 1, Activity: "START"})
+			errs <- err
+		}(uint64(i + 1))
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent append: %v", err)
+		}
+	}
+	if c.LastLSN() != n {
+		t.Fatalf("lastLSN %d, want %d", c.LastLSN(), n)
+	}
+	c.Close()
+	c2, rec, err := Open(nil, Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("restart after concurrent appends: %v", err)
+	}
+	defer c2.Close()
+	if rec.Records != n {
+		t.Fatalf("recovered %d records, want %d", rec.Records, n)
+	}
+}

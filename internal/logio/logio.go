@@ -98,6 +98,41 @@ func attrsFromWire(m map[string]string) (wlog.AttrMap, error) {
 	return out, nil
 }
 
+// EncodeRecord renders one record as a single FormatJSONL line without the
+// trailing newline — the wire form of the live-append API and the payload of
+// a WAL frame. It is the single-record counterpart of Writer.Write.
+func EncodeRecord(r wlog.Record) ([]byte, error) {
+	line, err := json.Marshal(jsonRecord{
+		LSN: r.LSN, WID: r.WID, Seq: r.Seq, Act: r.Activity,
+		In: attrsToWire(r.In), Out: attrsToWire(r.Out),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("logio: marshal lsn=%d: %w", r.LSN, err)
+	}
+	return line, nil
+}
+
+// DecodeRecord inverts EncodeRecord: one FormatJSONL line (surrounding
+// whitespace tolerated) back to a record.
+func DecodeRecord(line []byte) (wlog.Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal(line, &jr); err != nil {
+		return wlog.Record{}, fmt.Errorf("logio: %w", err)
+	}
+	in, err := attrsFromWire(jr.In)
+	if err != nil {
+		return wlog.Record{}, fmt.Errorf("logio: %w", err)
+	}
+	out, err := attrsFromWire(jr.Out)
+	if err != nil {
+		return wlog.Record{}, fmt.Errorf("logio: %w", err)
+	}
+	return wlog.Record{
+		LSN: jr.LSN, WID: jr.WID, Seq: jr.Seq, Activity: jr.Act,
+		In: in, Out: out,
+	}, nil
+}
+
 // Writer streams records to an underlying io.Writer in a fixed format.
 // Writers buffer internally; call Flush (or Close) when done.
 type Writer struct {

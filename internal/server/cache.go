@@ -11,9 +11,11 @@ import (
 
 // cacheEntry is one cached query: the compiled plan (the optimized pattern
 // plus the rewrite trace that produced it) and the materialized result set.
-// The eval.Index is immutable, so a cached result stays valid for the
-// lifetime of the loaded log; entries are only ever displaced by LRU
-// pressure, never invalidated.
+// A static log's index is immutable, so its cached results stay valid for
+// the lifetime of the loaded log and are only ever displaced by LRU
+// pressure. Under live ingestion (Config.Ingest) the backend grows, and
+// each append runs a delta invalidation sweep: the entry's log name and the
+// plan's atom set tag exactly which appends could change its answer.
 //
 // Entries are shared between concurrent readers and must be treated as
 // read-only: the incident set and the plan are never mutated after insert.
@@ -21,6 +23,31 @@ type cacheEntry struct {
 	plan  pattern.Node
 	trace rewrite.Trace
 	set   *incident.Set
+	// log and atoms are the delta-invalidation tags (see above); atoms is
+	// nil for entries cached before ingestion was a concern, which the
+	// sweep conservatively treats as always-stale.
+	log   string
+	atoms []*pattern.Atom
+}
+
+// staleForActivity decides whether appending a record with the given
+// activity could change the entry's answer. A positive atom matches only
+// its own activity, so the append is relevant iff it IS that activity; a
+// negated atom ¬t matches every OTHER activity, so the append is relevant
+// iff it is NOT t. Any atom that could match the new record means new
+// incidents may exist and the entry must go; if no atom matches, no
+// incident involving the record can form (incidents are per-instance
+// compositions of atom matches) and the cached answer is still exact.
+func (e *cacheEntry) staleForActivity(act string) bool {
+	if e.atoms == nil {
+		return true
+	}
+	for _, a := range e.atoms {
+		if a.Negated != (a.Activity == act) {
+			return true
+		}
+	}
+	return false
 }
 
 // lru is a mutex-guarded least-recently-used cache from canonical query
@@ -83,6 +110,33 @@ func (c *lru) put(key string, e *cacheEntry) {
 		delete(c.items, oldest.Value.(*lruItem).key)
 		c.evictions++
 	}
+}
+
+// invalidateActivity drops every entry of the named log whose answer could
+// include a newly appended record with the given activity (the delta sweep
+// run on each accepted append; see cacheEntry.staleForActivity). Entries of
+// other logs, and entries whose atom set cannot match the new record, are
+// untouched — repeated appends of irrelevant activities leave the cache
+// warm. Returns how many entries were dropped.
+func (c *lru) invalidateActivity(logName, act string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped uint64
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		it := el.Value.(*lruItem)
+		if it.entry.log != logName || !it.entry.staleForActivity(act) {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, it.key)
+		dropped++
+	}
+	return dropped
 }
 
 // len returns the current number of entries.

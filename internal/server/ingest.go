@@ -1,0 +1,280 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"wlq/internal/ingest"
+	"wlq/internal/logio"
+	"wlq/internal/wal"
+	"wlq/internal/wlog"
+)
+
+// Live ingestion: POST /v1/logs/{name}/append writes records through a
+// per-log write-ahead log into the live index (internal/ingest owns the
+// WAL-then-apply ordering; this file owns the HTTP surface and the delta
+// cache invalidation). See docs/DURABILITY.md.
+
+// DefaultIngestQueue is the per-log append admission bound when
+// Config.IngestQueue is 0: deep enough that bursty appenders rarely see
+// 429, shallow enough that a stalled disk sheds instead of queueing
+// unboundedly.
+const DefaultIngestQueue = 256
+
+// openIngest builds one log's durable ingest coordinator over its WAL
+// directory. Called under s.mu from AddLog.
+func (s *Server) openIngest(name string, l *wlog.Log) (*ingest.Coordinator, wal.Recovery, error) {
+	if s.cfg.WALDir == "" {
+		return nil, wal.Recovery{}, errors.New("ingest enabled but Config.WALDir is empty")
+	}
+	queue := s.cfg.IngestQueue
+	if queue == 0 {
+		queue = DefaultIngestQueue
+	}
+	return ingest.Open(l, ingest.Config{
+		Dir:           filepath.Join(s.cfg.WALDir, sanitizeWALName(name)),
+		Policy:        s.cfg.FsyncPolicy,
+		FsyncInterval: s.cfg.FsyncInterval,
+		SegmentBytes:  s.cfg.WALSegmentBytes,
+		Queue:         queue,
+		Columnar:      s.cfg.Columnar,
+		// Delta cache invalidation, the live twin of the generation-keyed
+		// reload scheme: each accepted append drops exactly the cached
+		// entries whose atom sets could match the new record. Runs in lsn
+		// order after the monitor's write lock is released, so it strictly
+		// follows any cache put of a result computed from the pre-append
+		// view (the query path holds the monitor's read lock across its put).
+		OnApply: func(r wlog.Record) {
+			if n := s.cache.invalidateActivity(name, r.Activity); n > 0 {
+				s.metrics.ingestInvalidations.Add(n)
+			}
+		},
+		ObserveFsync: s.metrics.fsyncHist.observe,
+	})
+}
+
+// sanitizeWALName maps a log name to a filesystem-safe WAL subdirectory
+// name: anything outside [A-Za-z0-9._-] becomes '_', and a leading dot is
+// escaped so the directory is never hidden or a path traversal.
+func sanitizeWALName(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			sb.WriteByte(c)
+		case c == '.' && i > 0:
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// appendResponse is the POST /v1/logs/{name}/append result. The body is a
+// stream of JSONL records (the logio wire form, one per line); all of them
+// were durably logged and applied in order when the status is 200.
+type appendResponse struct {
+	Log string `json:"log"`
+	// Appended is how many records this request persisted; FirstLSN and
+	// LastLSN bracket their assigned log sequence numbers. LastLSN is the
+	// watermark an appender resumes from after a reconnect.
+	Appended int    `json:"appended"`
+	FirstLSN uint64 `json:"first_lsn,omitempty"`
+	LastLSN  uint64 `json:"last_lsn"`
+}
+
+// handleAppend is POST /v1/logs/{name}/append. Records are applied one at a
+// time in body order; each is durable before the next is read. On a mid-
+// batch failure the response names the offending record AND reports how
+// many earlier records were already accepted — those are durable and are
+// NOT rolled back (the WAL is append-only; clients resume from last_lsn).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if entry.live == nil {
+		writeError(w, http.StatusConflict, "log %q does not accept appends", entry.name)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	lr := logio.NewReader(r.Body, logio.FormatJSONL)
+	resp := appendResponse{Log: entry.name}
+	for {
+		rec, err := lr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.appendFailure(w, http.StatusRequestEntityTooLarge, resp, errorDoc{
+					Error:    fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+					Accepted: resp.Appended,
+				})
+				return
+			}
+			s.appendFailure(w, http.StatusBadRequest, resp, errorDoc{
+				Error:    fmt.Sprintf("malformed record: %v", err),
+				Accepted: resp.Appended,
+			})
+			return
+		}
+		lsn, err := entry.live.Append(rec)
+		if err != nil {
+			s.writeAppendError(w, entry, resp, rec, err)
+			return
+		}
+		if resp.Appended == 0 {
+			resp.FirstLSN = lsn
+		}
+		resp.Appended++
+		resp.LastLSN = lsn
+	}
+	if resp.Appended == 0 {
+		writeError(w, http.StatusBadRequest, "empty append: no records in request body")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeAppendError maps a coordinator append failure to its HTTP shape:
+// 422 for a Definition 2 rejection (naming the refused record), 429 +
+// Retry-After under backpressure, 503 when durability itself failed (the
+// WAL could not persist the record; nothing was applied).
+func (s *Server) writeAppendError(w http.ResponseWriter, entry *logEntry, resp appendResponse, rec wlog.Record, err error) {
+	var re *ingest.RejectError
+	switch {
+	case errors.As(err, &re):
+		s.appendFailure(w, http.StatusUnprocessableEntity, resp, errorDoc{
+			Error:    fmt.Sprintf("record rejected: %v", re.Err),
+			Record:   re.Record.String(),
+			Accepted: resp.Appended,
+		})
+	case errors.Is(err, ingest.ErrBusy):
+		retry := retryAfterSeconds(entry.live.Admission().RetryAfter())
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.appendFailure(w, http.StatusTooManyRequests, resp, errorDoc{
+			Error:             "ingest saturated: apply queue full",
+			RetryAfterSeconds: retry,
+			Accepted:          resp.Appended,
+		})
+	default:
+		// The WAL refused or broke: acknowledging the record would promise
+		// durability the disk did not deliver. 503 — the condition is
+		// sticky until the operator intervenes (see docs/DURABILITY.md).
+		s.appendFailure(w, http.StatusServiceUnavailable, resp, errorDoc{
+			Error:    fmt.Sprintf("durability failure, record not accepted: %v", err),
+			Record:   rec.String(),
+			Accepted: resp.Appended,
+		})
+	}
+}
+
+// appendFailure writes an append error envelope. Records accepted before
+// the failure are durable; the doc's Accepted field says how many.
+func (s *Server) appendFailure(w http.ResponseWriter, code int, resp appendResponse, doc errorDoc) {
+	if resp.Appended > 0 {
+		doc.LastLSN = resp.LastLSN
+	}
+	writeJSON(w, code, doc)
+}
+
+// Close releases server-held resources: every live log's WAL is synced and
+// closed. Queries keep working against the in-memory state; appends to a
+// closed WAL fail. Call once, after the HTTP server has drained.
+func (s *Server) Close() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var first error
+	for _, name := range s.names {
+		if e := s.logs[name]; e.live != nil {
+			if err := e.live.Close(); err != nil && first == nil {
+				first = fmt.Errorf("server: close wal for %q: %w", name, err)
+			}
+		}
+	}
+	return first
+}
+
+// ingestLogDoc is one live log's row in the metrics ingest section.
+type ingestLogDoc struct {
+	Log           string `json:"log"`
+	LastLSN       uint64 `json:"last_lsn"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Segments      int    `json:"wal_segments"`
+}
+
+// ingestMetricsDoc is the ingest section of the metrics document:
+// coordinator and WAL counters aggregated across live logs at scrape time
+// (the same assembled-at-scrape pattern as the cluster section), plus the
+// server-owned delta-invalidation counter and the fsync latency histogram's
+// scalar summary (the full histogram is Prometheus-only).
+type ingestMetricsDoc struct {
+	Accepted           uint64         `json:"accepted"`
+	Rejected           uint64         `json:"rejected"`
+	Shed               uint64         `json:"shed"`
+	Replayed           uint64         `json:"replayed"`
+	Deduped            uint64         `json:"deduped"`
+	WALAppends         uint64         `json:"wal_appends"`
+	WALBytes           uint64         `json:"wal_bytes"`
+	WALFsyncs          uint64         `json:"wal_fsyncs"`
+	WALRotations       uint64         `json:"wal_rotations"`
+	WALSegments        int            `json:"wal_segments"`
+	WALTornBytes       int64          `json:"wal_torn_bytes"`
+	CacheInvalidations uint64         `json:"cache_invalidations"`
+	FsyncCount         uint64         `json:"fsync_count"`
+	FsyncSumUS         int64          `json:"fsync_sum_us"`
+	Logs               []ingestLogDoc `json:"logs,omitempty"`
+}
+
+// ingestMetrics assembles the ingest section, or nil when live ingestion is
+// disabled.
+func (s *Server) ingestMetrics() *ingestMetricsDoc {
+	if !s.cfg.Ingest {
+		return nil
+	}
+	s.mu.RLock()
+	coords := make([]*logEntry, 0, len(s.names))
+	for _, name := range s.names {
+		if e := s.logs[name]; e.live != nil {
+			coords = append(coords, e)
+		}
+	}
+	s.mu.RUnlock()
+	doc := &ingestMetricsDoc{
+		CacheInvalidations: s.metrics.ingestInvalidations.Load(),
+	}
+	_, doc.FsyncCount, doc.FsyncSumUS = s.metrics.fsyncHist.snapshot()
+	for _, e := range coords {
+		st := e.live.Stats()
+		doc.Accepted += st.Accepted
+		doc.Rejected += st.Rejected
+		doc.Shed += st.Shed
+		doc.Replayed += st.Replayed
+		doc.Deduped += st.Deduped
+		doc.WALAppends += st.WAL.Appends
+		doc.WALBytes += st.WAL.Bytes
+		doc.WALFsyncs += st.WAL.Fsyncs
+		doc.WALRotations += st.WAL.Rotations
+		doc.WALSegments += st.WAL.Segments
+		doc.WALTornBytes += st.WAL.TornBytes
+		doc.Logs = append(doc.Logs, ingestLogDoc{
+			Log:           e.name,
+			LastLSN:       st.LastLSN,
+			QueueDepth:    st.QueueDepth,
+			QueueCapacity: st.QueueCapacity,
+			Segments:      st.WAL.Segments,
+		})
+	}
+	return doc
+}

@@ -72,6 +72,13 @@ type metrics struct {
 	workerQueries     atomic.Uint64
 	workerQueryErrors atomic.Uint64
 
+	// Ingest counters owned by the server (the coordinator/WAL counters are
+	// merged in at scrape time, like the cluster section):
+	// ingestInvalidations counts cache entries dropped by the per-append
+	// delta sweep, and fsyncHist is the WAL fsync latency histogram.
+	ingestInvalidations atomic.Uint64
+	fsyncHist           fsyncHistogram
+
 	// Per-operator totals, indexed by pattern.Op (1..4), folded in from
 	// each evaluated query's eval.Meter: the measured record-level
 	// comparison work and incident outputs of every ⊙/≺/⊗/⊕ application.
@@ -148,6 +155,38 @@ func (h *latencyHist) observe(d time.Duration) {
 // snapshot returns the per-bucket counts (not yet cumulative), the total
 // count and the latency sum.
 func (h *latencyHist) snapshot() (buckets []uint64, count uint64, sumUS int64) {
+	buckets = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sumUS.Load()
+}
+
+// fsyncBucketsUS are the WAL fsync duration histogram bounds in
+// microseconds (plus an implicit +Inf bucket): 10µs — a page-cache sync on
+// fast NVMe or tmpfs — up to 1s, where the disk is the ingest bottleneck.
+var fsyncBucketsUS = [...]int64{
+	10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000, 500000, 1000000,
+}
+
+// fsyncHistogram is latencyHist over the fsync bucket bounds: per-bucket
+// counts (cumulated at exposition time), a running sum and a count.
+type fsyncHistogram struct {
+	buckets [len(fsyncBucketsUS) + 1]atomic.Uint64 // last slot = +Inf
+	count   atomic.Uint64
+	sumUS   atomic.Int64
+}
+
+func (h *fsyncHistogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := sort.Search(len(fsyncBucketsUS), func(i int) bool { return fsyncBucketsUS[i] >= us })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+func (h *fsyncHistogram) snapshot() (buckets []uint64, count uint64, sumUS int64) {
 	buckets = make([]uint64, len(h.buckets))
 	for i := range h.buckets {
 		buckets[i] = h.buckets[i].Load()
@@ -246,14 +285,17 @@ type metricsDoc struct {
 	BreakersOpen       int     `json:"breakers_open"`
 	// Cluster is the distributed-tier section (nil on a single-node server
 	// that is not in worker mode).
-	Cluster           *clusterMetricsDoc `json:"cluster,omitempty"`
-	AdmissionCapacity int                `json:"admission_capacity"`
-	AdmissionInFlight int                `json:"admission_in_flight"`
-	InflightQueries   int64              `json:"inflight_queries"`
-	WorkersPerQuery   int                `json:"workers_per_query"`
-	BusyWorkers       int64              `json:"busy_workers"`
-	WorkerCapacity    int                `json:"worker_capacity"`
-	WorkerUtilization float64            `json:"worker_utilization"`
+	Cluster *clusterMetricsDoc `json:"cluster,omitempty"`
+	// Ingest is the durable live-ingestion section (nil unless
+	// Config.Ingest): coordinator, WAL and delta-invalidation counters.
+	Ingest            *ingestMetricsDoc `json:"ingest,omitempty"`
+	AdmissionCapacity int               `json:"admission_capacity"`
+	AdmissionInFlight int               `json:"admission_in_flight"`
+	InflightQueries   int64             `json:"inflight_queries"`
+	WorkersPerQuery   int               `json:"workers_per_query"`
+	BusyWorkers       int64             `json:"busy_workers"`
+	WorkerCapacity    int               `json:"worker_capacity"`
+	WorkerUtilization float64           `json:"worker_utilization"`
 	// Flight-recorder gauges: captures recorded over the service lifetime
 	// and captures currently resident in the rings.
 	FlightCaptured uint64 `json:"flightrec_captured"`
@@ -345,7 +387,7 @@ func (s *Server) clusterMetrics() *clusterMetricsDoc {
 // per-query worker count; breakersOpen is the live count of not-closed
 // per-shard circuit breakers; logs, cache and admission supply their own
 // gauges; cl is the cluster section (nil off-cluster).
-func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission, flight *flightrec.Recorder, backend string, cl *clusterMetricsDoc) metricsDoc {
+func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpen int, cache *lru, adm *resilience.Admission, flight *flightrec.Recorder, backend string, cl *clusterMetricsDoc, ing *ingestMetricsDoc) metricsDoc {
 	count, p50, p95, p99, max := m.lat.percentiles()
 	capacity := runtime.GOMAXPROCS(0)
 	busy := m.busyWorkers.Load()
@@ -384,6 +426,7 @@ func (m *metrics) snapshot(logsLoaded, quarantined, workersPerQuery, breakersOpe
 		WIDsExcluded:        m.widsExcluded.Load(),
 		BreakersOpen:        breakersOpen,
 		Cluster:             cl,
+		Ingest:              ing,
 		AdmissionCapacity:   adm.Capacity(),
 		AdmissionInFlight:   adm.InFlight(),
 		InflightQueries:     m.inflight.Load(),

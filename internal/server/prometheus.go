@@ -42,7 +42,7 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	s.mu.RLock()
 	loaded, quarantined := len(s.logs), len(s.quarantine)
 	s.mu.RUnlock()
-	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics())
+	doc := s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(), s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics(), s.ingestMetrics())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -192,6 +192,63 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 				fmt.Fprintf(w, "wlq_worker_query_duration_seconds_count{worker=%q} %d\n", wd.Worker, wd.Count)
 			}
 		}
+	}
+
+	// Durable live-ingestion tier: coordinator and WAL counters aggregated
+	// over live logs, per-log watermark/queue gauges, and the WAL fsync
+	// latency histogram. Emitted only when Config.Ingest is on.
+	if ing := doc.Ingest; ing != nil {
+		writeFamily(w, "wlq_ingest_appends_total", "Records durably appended and applied.", "counter",
+			counter(ing.Accepted)...)
+		writeFamily(w, "wlq_ingest_rejected_total", "Appends rejected for violating the log discipline (422).", "counter",
+			counter(ing.Rejected)...)
+		writeFamily(w, "wlq_ingest_shed_total", "Appends shed by apply-queue backpressure (429).", "counter",
+			counter(ing.Shed)...)
+		writeFamily(w, "wlq_ingest_replayed_total", "WAL records replayed into the index at startup or reload.", "counter",
+			counter(ing.Replayed)...)
+		writeFamily(w, "wlq_ingest_deduped_total", "WAL records skipped on replay as already in the snapshot.", "counter",
+			counter(ing.Deduped)...)
+		writeFamily(w, "wlq_ingest_cache_invalidations_total", "Cached results dropped by the per-append delta sweep.", "counter",
+			counter(ing.CacheInvalidations)...)
+		writeFamily(w, "wlq_ingest_wal_bytes_total", "Framed bytes written to WAL segments.", "counter",
+			counter(ing.WALBytes)...)
+		writeFamily(w, "wlq_ingest_wal_fsyncs_total", "Explicit WAL fsyncs issued.", "counter",
+			counter(ing.WALFsyncs)...)
+		writeFamily(w, "wlq_ingest_wal_rotations_total", "WAL segment rotations.", "counter",
+			counter(ing.WALRotations)...)
+		writeFamily(w, "wlq_ingest_wal_segments", "Live WAL segment files across logs.", "gauge",
+			gauge(float64(ing.WALSegments))...)
+		writeFamily(w, "wlq_ingest_wal_torn_bytes_total", "Bytes truncated as torn tails by recovery scans.", "counter",
+			counter(uint64(ing.WALTornBytes))...)
+		if len(ing.Logs) > 0 {
+			lsns := make([]promSample, 0, len(ing.Logs))
+			depth := make([]promSample, 0, len(ing.Logs))
+			capy := make([]promSample, 0, len(ing.Logs))
+			for _, ld := range ing.Logs {
+				label := `{log="` + ld.Log + `"}`
+				lsns = append(lsns, promSample{labels: label, value: strconv.FormatUint(ld.LastLSN, 10)})
+				depth = append(depth, promSample{labels: label, value: strconv.Itoa(ld.QueueDepth)})
+				capy = append(capy, promSample{labels: label, value: strconv.Itoa(ld.QueueCapacity)})
+			}
+			writeFamily(w, "wlq_ingest_last_lsn", "Per-log applied high-water mark.", "gauge", lsns...)
+			writeFamily(w, "wlq_ingest_queue_depth", "Per-log append requests currently admitted.", "gauge", depth...)
+			writeFamily(w, "wlq_ingest_queue_capacity", "Per-log append admission bound (0 = unlimited).", "gauge", capy...)
+		}
+		// WAL fsync latency histogram: cumulative buckets in seconds.
+		fb, fcount, fsum := s.metrics.fsyncHist.snapshot()
+		fmt.Fprintf(w, "# HELP wlq_ingest_fsync_duration_seconds WAL fsync latency.\n")
+		fmt.Fprintf(w, "# TYPE wlq_ingest_fsync_duration_seconds histogram\n")
+		var fcum uint64
+		for i, le := range fsyncBucketsUS {
+			fcum += fb[i]
+			fmt.Fprintf(w, "wlq_ingest_fsync_duration_seconds_bucket{le=%q} %d\n",
+				strconv.FormatFloat(float64(le)/1e6, 'g', -1, 64), fcum)
+		}
+		fcum += fb[len(fb)-1]
+		fmt.Fprintf(w, "wlq_ingest_fsync_duration_seconds_bucket{le=\"+Inf\"} %d\n", fcum)
+		fmt.Fprintf(w, "wlq_ingest_fsync_duration_seconds_sum %s\n",
+			strconv.FormatFloat(float64(fsum)/1e6, 'g', -1, 64))
+		fmt.Fprintf(w, "wlq_ingest_fsync_duration_seconds_count %d\n", fcount)
 	}
 
 	// Per-operator Lemma 1 accounting, labeled by operator name.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+
+	"wlq/internal/ingest"
 )
 
 // Hot reload with quarantine. ReloadLogs re-reads every registered log from
@@ -77,10 +79,15 @@ func (s *Server) reloadLogsLocked() (ReloadResult, error) {
 	// outside any lock: loading is file I/O plus index building and must
 	// not stall queries.
 	s.mu.RLock()
-	type target struct{ name, source string }
+	type target struct {
+		name, source string
+		live         *ingest.Coordinator
+	}
 	targets := make([]target, 0, len(s.names))
 	for _, name := range s.names {
-		targets = append(targets, target{name: name, source: s.logs[name].source})
+		targets = append(targets, target{
+			name: name, source: s.logs[name].source, live: s.logs[name].live,
+		})
 	}
 	s.mu.RUnlock()
 
@@ -114,13 +121,37 @@ func (s *Server) reloadLogsLocked() (ReloadResult, error) {
 			name:   t.name,
 			source: t.source,
 			log:    l,
-			ix:     s.newBackend(l),
 			valid:  true,
 		}
-		// The shard executor is rebuilt with the backend: the new partition
-		// matches the new log, and breaker history bound to stale wid ranges
-		// is discarded with them.
-		e.shardex = s.newShardExecutor(e.ix)
+		if t.live != nil {
+			// Reload-vs-append: the fresh snapshot alone would silently drop
+			// every durably acknowledged append since the last (re)load.
+			// Rebase rebuilds the live monitor from the snapshot and replays
+			// the WAL on top (lsn-dedup keeps records the snapshot already
+			// absorbed). A conflicting snapshot — one the WAL's records
+			// cannot legally follow — quarantines the log; the coordinator
+			// and the served entry are left untouched.
+			if err := t.live.Rebase(l); err != nil {
+				s.metrics.logReloadFailures.Add(1)
+				if res.Quarantined == nil {
+					res.Quarantined = make(map[string]string)
+				}
+				res.Quarantined[t.name] = err.Error()
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Error("log reload conflicts with its WAL; serving last-good state",
+						"log", t.name, "source", t.source, "error", err)
+				}
+				continue
+			}
+			e.live = t.live
+			e.ix = t.live.Monitor().Source()
+		} else {
+			e.ix = s.newBackend(l)
+			// The shard executor is rebuilt with the backend: the new partition
+			// matches the new log, and breaker history bound to stale wid ranges
+			// is discarded with them.
+			e.shardex = s.newShardExecutor(e.ix)
+		}
 		fresh[t.name] = e
 		res.Reloaded = append(res.Reloaded, t.name)
 	}

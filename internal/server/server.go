@@ -41,10 +41,12 @@ import (
 	"wlq/internal/core/pattern"
 	"wlq/internal/core/rewrite"
 	"wlq/internal/flightrec"
+	"wlq/internal/ingest"
 	"wlq/internal/obs"
 	"wlq/internal/resilience"
 	"wlq/internal/shard"
 	"wlq/internal/stats"
+	"wlq/internal/wal"
 	"wlq/internal/wlog"
 )
 
@@ -161,6 +163,32 @@ type Config struct {
 	// with Adaptive and a single log (every log would share the one file);
 	// cmd/wlq-serve enforces that. Empty means the per-source default.
 	StatsFile string
+	// Ingest enables durable live ingestion: every registered log accepts
+	// POST /v1/logs/{name}/append, each accepted record is written to a
+	// per-log write-ahead log before it touches the in-memory index, and
+	// startup/reload replay the WAL so acknowledged records survive a
+	// process kill. Incompatible with WorkerMode and Cluster (a live log's
+	// contents would silently diverge across the fleet); live logs also
+	// bypass the in-process shard executor, whose wid-range partition is
+	// computed once per (re)load. See docs/DURABILITY.md.
+	Ingest bool
+	// WALDir is the root directory for WAL segments; each log gets its own
+	// subdirectory named after (a sanitized form of) the log name. Required
+	// when Ingest is set.
+	WALDir string
+	// FsyncPolicy governs when WAL appends are flushed to stable storage
+	// (zero value = wal.PolicyAlways: acknowledged means on disk).
+	FsyncPolicy wal.Policy
+	// FsyncInterval paces the background flush under wal.PolicyInterval
+	// (0 = wal.DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// WALSegmentBytes is the rotation threshold per WAL segment file
+	// (0 = wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// IngestQueue bounds concurrently admitted append requests per log;
+	// arrivals beyond it are shed with 429 + Retry-After. 0 means
+	// DefaultIngestQueue; negative disables the bound.
+	IngestQueue int
 }
 
 // withDefaults resolves the zero values.
@@ -199,6 +227,14 @@ type logEntry struct {
 	// It lives as long as the entry, so per-shard circuit-breaker history
 	// persists across queries; a reload replaces it together with the index.
 	shardex *shard.Executor
+	// live is the log's durable ingest coordinator (nil unless
+	// Config.Ingest). Unlike the rest of the entry it is long-lived shared
+	// state: a hot reload rebases the SAME coordinator onto the fresh
+	// snapshot (replaying its WAL on top) instead of replacing it, so the
+	// WAL file handle and watermark survive reloads. For a live entry, ix is
+	// the coordinator's monitor backend, and the query path brackets every
+	// read of it with the monitor's RLock.
+	live *ingest.Coordinator
 }
 
 // Server is the query service. Safe for concurrent use; logs are loaded
@@ -258,6 +294,13 @@ func New(cfg Config) *Server {
 		if coord, err = cluster.New(*cfg.Cluster); err != nil {
 			panic(fmt.Sprintf("server: invalid cluster config: %v", err))
 		}
+	}
+	// Live ingestion mutates a single node's log; worker and coordinator
+	// roles assume every node serves an identical immutable snapshot.
+	// cmd/wlq-serve validates the flags; this is the same construction-time
+	// backstop as an invalid cluster config.
+	if cfg.Ingest && (cfg.WorkerMode || cfg.Cluster != nil) {
+		panic("server: Config.Ingest is incompatible with WorkerMode and Cluster")
 	}
 	return &Server{
 		cfg:        cfg,
@@ -344,10 +387,31 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 	if _, dup := s.logs[name]; dup {
 		return fmt.Errorf("server: duplicate log name %q", name)
 	}
-	e := &logEntry{name: name, source: source, log: l, ix: s.newBackend(l), valid: true}
-	e.shardex = s.newShardExecutor(e.ix)
+	e := &logEntry{name: name, source: source, log: l, valid: true}
 	if err := l.Validate(); err != nil {
 		e.valid, e.reason = false, err.Error()
+	}
+	if s.cfg.Ingest {
+		// A live log must start from a clean snapshot: the WAL replays on
+		// top of it and the monitor enforces Definition 2 from record one,
+		// so the tolerate-and-flag posture of static serving does not apply.
+		if !e.valid {
+			return fmt.Errorf("server: log %q cannot accept appends: %s", name, e.reason)
+		}
+		coord, rec, err := s.openIngest(name, l)
+		if err != nil {
+			return fmt.Errorf("server: log %q: %w", name, err)
+		}
+		e.live = coord
+		e.ix = coord.Monitor().Source()
+		if s.cfg.Logger != nil && (rec.Records > 0 || rec.TornBytes > 0) {
+			s.cfg.Logger.Info("wal recovered", "log", name,
+				"records", rec.Records, "last_lsn", rec.LastLSN,
+				"segments", rec.Segments, "torn_bytes", rec.TornBytes)
+		}
+	} else {
+		e.ix = s.newBackend(l)
+		e.shardex = s.newShardExecutor(e.ix)
 	}
 	if s.cfg.Adaptive {
 		path := s.cfg.StatsFile
@@ -360,6 +424,9 @@ func (s *Server) AddLog(name, source string, l *wlog.Log) error {
 			if err != nil {
 				// A corrupt snapshot must not silently discard accumulated
 				// statistics; the operator decides (delete the file, or fix it).
+				if e.live != nil {
+					e.live.Close()
+				}
 				return fmt.Errorf("server: log %q: %w", name, err)
 			}
 			reg = loaded
@@ -440,6 +507,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/logs", s.handleLogs)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	if s.cfg.Ingest {
+		mux.HandleFunc("POST /v1/logs/{name}/append", s.handleAppend)
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -562,6 +632,14 @@ type errorDoc struct {
 	// result: what the result would have covered had the client opted into
 	// degraded mode with "partial": true.
 	Completeness *shard.Completeness `json:"completeness,omitempty"`
+	// Append failures (POST /v1/logs/{name}/append): Record names the
+	// offending record (422 discipline rejection, or the unpersisted record
+	// of a durability failure); Accepted counts the records of the same
+	// request that were already durably applied — they are not rolled back
+	// — and LastLSN is the watermark to resume from.
+	Record   string `json:"record,omitempty"`
+	Accepted int    `json:"accepted,omitempty"`
+	LastLSN  uint64 `json:"last_lsn,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -766,6 +844,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	capture.Log = entry.name
 	capture.Generation = entry.gen
 	capture.Sharded = entry.shardex != nil
+	// A live log's backend mutates under appends; freeze it for the whole
+	// request — planning, evaluation, AND the cache put. Holding the read
+	// lock across the put closes the stale-entry race: an append can only
+	// take the write lock (and so run its delta invalidation) after this
+	// request's result — computed from the pre-append view — is already in
+	// the cache, where the invalidation sweep will find it.
+	if entry.live != nil {
+		mon := entry.live.Monitor()
+		mon.RLock()
+		defer mon.RUnlock()
+		capture.IngestLSN = mon.LastLSNLocked()
+	}
 
 	// The trace is created before parsing so the parse span covers it. With
 	// the flight recorder on, EVERY execution is traced internally — the
@@ -1094,7 +1184,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				s.saveStats(entry.name)
 			}
 		}
-		ce = &cacheEntry{plan: plan, trace: trace, set: set}
+		// The log name and the plan's atoms tag the entry for delta
+		// invalidation under live ingestion: an append drops exactly the
+		// entries whose answers could include the new record.
+		ce = &cacheEntry{plan: plan, trace: trace, set: set,
+			log: entry.name, atoms: pattern.Atoms(plan)}
 		// A partial result is never cached: a later query must not be served
 		// an excluded wid range's absence as if it were evaluated truth, and
 		// the shards may well recover before the entry would age out.
@@ -1297,6 +1391,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if reg := s.statsFor(entry.name); reg != nil {
 		sel = reg.Selectivities()
 	}
+	// The estimator reads activity counts off the backend; freeze a live
+	// log's backend against appends for the duration.
+	if entry.live != nil {
+		mon := entry.live.Monitor()
+		mon.RLock()
+		defer mon.RUnlock()
+	}
 	opt, trace := rewrite.ExplainWith(p, entry.ix, sel)
 	steps := trace.Steps
 	if steps == nil {
@@ -1337,6 +1438,10 @@ type logDoc struct {
 	// AdaptiveQueries counts the complete evaluations folded into the log's
 	// statistics registry (absent when the adaptive cost model is off).
 	AdaptiveQueries uint64 `json:"adaptive_queries,omitempty"`
+	// Live marks a log accepting durable appends; IngestLSN is then its
+	// applied high-water mark (the lsn an appender last saw acknowledged).
+	Live      bool   `json:"live,omitempty"`
+	IngestLSN uint64 `json:"ingest_lsn,omitempty"`
 }
 
 // logsResponse is the GET /v1/logs result.
@@ -1359,25 +1464,47 @@ func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
 
 	docs := make([]logDoc, len(entries))
 	for i, e := range entries {
+		docs[i] = logDoc{
+			Name:            e.name,
+			Source:          e.source,
+			Valid:           e.valid,
+			Error:           e.reason,
+			Generation:      e.gen,
+			ReloadError:     reloadErrs[e.name],
+			AdaptiveQueries: s.statsFor(e.name).Queries(),
+		}
+		if e.live != nil {
+			// Live counts come off the monitor, not the startup snapshot:
+			// the snapshot does not know about appended records.
+			mon := e.live.Monitor()
+			mon.RLock()
+			src := mon.Source()
+			wids := src.WIDs()
+			complete := 0
+			for _, wid := range wids {
+				if recs := src.Instance(wid); len(recs) > 0 && recs[len(recs)-1].IsEnd() {
+					complete++
+				}
+			}
+			docs[i].Records = src.TotalRecords()
+			docs[i].Instances = len(wids)
+			docs[i].CompleteInstances = complete
+			docs[i].Activities = len(src.Activities())
+			docs[i].Live = true
+			docs[i].IngestLSN = mon.LastLSNLocked()
+			mon.RUnlock()
+			continue
+		}
 		complete := 0
 		for _, wid := range e.log.WIDs() {
 			if e.log.InstanceComplete(wid) {
 				complete++
 			}
 		}
-		docs[i] = logDoc{
-			Name:              e.name,
-			Source:            e.source,
-			Records:           e.log.Len(),
-			Instances:         len(e.log.WIDs()),
-			CompleteInstances: complete,
-			Activities:        len(e.ix.Activities()),
-			Valid:             e.valid,
-			Error:             e.reason,
-			Generation:        e.gen,
-			ReloadError:       reloadErrs[e.name],
-			AdaptiveQueries:   s.statsFor(e.name).Queries(),
-		}
+		docs[i].Records = e.log.Len()
+		docs[i].Instances = len(e.log.WIDs())
+		docs[i].CompleteInstances = complete
+		docs[i].Activities = len(e.ix.Activities())
 	}
 	writeJSON(w, http.StatusOK, logsResponse{Logs: docs})
 }
@@ -1398,5 +1525,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK,
 		s.metrics.snapshot(loaded, quarantined, s.cfg.Workers, s.openBreakers(),
-			s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics()))
+			s.cache, s.admission, s.flight, s.backendName(), s.clusterMetrics(), s.ingestMetrics()))
 }

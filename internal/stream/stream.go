@@ -8,17 +8,36 @@
 // instance each record extends. Because incidents never span instances
 // (Definition 4), that per-instance re-evaluation is exact: a new record
 // can only create incidents within its own instance.
+//
+// Concurrency contract: a Monitor is safe for concurrent use. Ingest takes
+// the write lock; Query, Validate and every accessor take the read lock.
+// Callers that need a stable view across several calls (the server's query
+// path reads the Source for planning, then evaluates, then caches) bracket
+// them with RLock/RUnlock — the backend is immutable while the read lock is
+// held, which is exactly the immutability an eval.Evaluator requires of its
+// Source.
 package stream
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"wlq/internal/core/eval"
 	"wlq/internal/core/incident"
 	"wlq/internal/core/pattern"
 	"wlq/internal/wlog"
 )
+
+// Backend is the incrementally-maintained index a Monitor appends to: an
+// eval.Source that also supports Algorithm 2 maintenance one record at a
+// time. eval.Index is the row backend; colstore.LiveStore is the
+// columnar-symbol backend. Append must only be called while the Monitor's
+// write lock is held (the Monitor guarantees this).
+type Backend interface {
+	eval.Source
+	Append(r wlog.Record)
+}
 
 // Alert reports a watch firing: the named pattern gained its first incident
 // in some workflow instance.
@@ -42,7 +61,8 @@ func (a Alert) String() string {
 		a.Watch, a.LSN, a.Incident, a.Query)
 }
 
-// Handler receives alerts synchronously during Ingest.
+// Handler receives alerts synchronously during Ingest, while the Monitor's
+// write lock is held; handlers must not call back into the Monitor.
 type Handler func(Alert)
 
 // Ingestion errors.
@@ -66,9 +86,10 @@ type watch struct {
 }
 
 // Monitor incrementally evaluates watches over an append-only log.
-// Not safe for concurrent use; callers serialize Ingest.
+// Safe for concurrent use; see the package comment for the lock contract.
 type Monitor struct {
-	ix      *eval.Index
+	mu      sync.RWMutex
+	backend Backend
 	ev      *eval.Evaluator
 	handler Handler
 	watches []*watch
@@ -79,23 +100,51 @@ type Monitor struct {
 	alerts  int
 }
 
-// NewMonitor creates a Monitor delivering alerts to handler (which may be
-// nil when only the Alerts counter and FiredInstances are wanted).
+// NewMonitor creates a Monitor over a fresh row backend (eval.Index),
+// delivering alerts to handler (which may be nil when only the Alerts
+// counter and FiredInstances are wanted).
 func NewMonitor(handler Handler) *Monitor {
-	ix := eval.NewEmptyIndex()
+	return NewMonitorOn(handler, eval.NewEmptyIndex())
+}
+
+// NewMonitorOn creates a Monitor over an existing backend — typically one
+// pre-loaded from a base snapshot, so live appends continue where the
+// snapshot ends. nextLSN picks up after the backend's newest record.
+func NewMonitorOn(handler Handler, backend Backend) *Monitor {
+	next := uint64(1)
+	nextSeq := make(map[uint64]uint64)
+	ended := make(map[uint64]struct{})
+	for _, wid := range backend.WIDs() {
+		recs := backend.Instance(wid)
+		if len(recs) == 0 {
+			continue
+		}
+		last := recs[len(recs)-1]
+		nextSeq[wid] = last.Seq + 1
+		if last.IsEnd() {
+			ended[wid] = struct{}{}
+		}
+		for _, r := range recs {
+			if r.LSN >= next {
+				next = r.LSN + 1
+			}
+		}
+	}
 	return &Monitor{
-		ix:      ix,
-		ev:      eval.New(ix, eval.Options{}),
+		backend: backend,
+		ev:      eval.New(backend, eval.Options{}),
 		handler: handler,
-		nextLSN: 1,
-		nextSeq: make(map[uint64]uint64),
-		ended:   make(map[uint64]struct{}),
+		nextLSN: next,
+		nextSeq: nextSeq,
+		ended:   ended,
 	}
 }
 
 // Watch registers a named pattern. Watches alert at most once per workflow
 // instance, at the moment the instance first contains an incident.
 func (m *Monitor) Watch(name, query string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, w := range m.watches {
 		if w.name == name {
 			return fmt.Errorf("%w: %q", ErrDuplicateWatch, name)
@@ -116,6 +165,8 @@ func (m *Monitor) Watch(name, query string) error {
 
 // WatchNames returns the registered watch names in registration order.
 func (m *Monitor) WatchNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	names := make([]string, len(m.watches))
 	for i, w := range m.watches {
 		names[i] = w.name
@@ -123,9 +174,9 @@ func (m *Monitor) WatchNames() []string {
 	return names
 }
 
-// Ingest appends one record, enforcing the log discipline, and evaluates
-// every not-yet-fired watch against the record's instance.
-func (m *Monitor) Ingest(r wlog.Record) error {
+// validateLocked checks r against the Definition 2 discipline without
+// mutating anything. Caller holds at least the read lock.
+func (m *Monitor) validateLocked(r wlog.Record) error {
 	if r.LSN != m.nextLSN {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadLSN, r.LSN, m.nextLSN)
 	}
@@ -143,8 +194,29 @@ func (m *Monitor) Ingest(r wlog.Record) error {
 		return fmt.Errorf("%w: wid %d activity %q at is-lsn %d (START iff is-lsn=1)",
 			ErrBadSeq, r.WID, r.Activity, r.Seq)
 	}
+	return nil
+}
 
-	m.ix.Append(r)
+// Validate checks whether Ingest would accept r, without ingesting it. The
+// answer is advisory under concurrency — another Ingest may land between
+// Validate and Ingest — so the ingest coordinator calls it while externally
+// serialized.
+func (m *Monitor) Validate(r wlog.Record) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.validateLocked(r)
+}
+
+// Ingest appends one record, enforcing the log discipline, and evaluates
+// every not-yet-fired watch against the record's instance.
+func (m *Monitor) Ingest(r wlog.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.validateLocked(r); err != nil {
+		return err
+	}
+
+	m.backend.Append(r)
 	m.nextLSN++
 	m.nextSeq[r.WID] = r.Seq + 1
 	if r.IsEnd() {
@@ -185,11 +257,17 @@ func (m *Monitor) IngestLog(l *wlog.Log) error {
 }
 
 // Alerts returns how many alerts have been raised in total.
-func (m *Monitor) Alerts() int { return m.alerts }
+func (m *Monitor) Alerts() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.alerts
+}
 
 // FiredInstances returns how many instances the named watch has alerted
 // for (0 for unknown names).
 func (m *Monitor) FiredInstances(name string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, w := range m.watches {
 		if w.name == name {
 			return len(w.firedIn)
@@ -199,7 +277,36 @@ func (m *Monitor) FiredInstances(name string) int {
 }
 
 // Records returns the number of records ingested so far.
-func (m *Monitor) Records() int { return m.ix.TotalRecords() }
+func (m *Monitor) Records() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.backend.TotalRecords()
+}
+
+// LastLSN returns the lsn of the newest ingested record (0 when empty).
+func (m *Monitor) LastLSN() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nextLSN - 1
+}
+
+// Source exposes the backend for read-only planning and evaluation. The
+// caller must hold the Monitor's read lock (RLock) for the whole time it
+// reads the Source — the lock is what makes the Source "immutable" in the
+// sense eval.Evaluator requires.
+func (m *Monitor) Source() eval.Source { return m.backend }
+
+// LastLSNLocked returns the watermark without acquiring the lock. The
+// caller must already hold RLock: re-acquiring the read lock while holding
+// it can deadlock behind a queued writer (sync.RWMutex is not reentrant).
+func (m *Monitor) LastLSNLocked() uint64 { return m.nextLSN - 1 }
+
+// RLock takes the Monitor's read lock, freezing the backend against
+// appends; pair with RUnlock.
+func (m *Monitor) RLock() { m.mu.RLock() }
+
+// RUnlock releases RLock.
+func (m *Monitor) RUnlock() { m.mu.RUnlock() }
 
 // Query evaluates an ad-hoc pattern over everything ingested so far.
 func (m *Monitor) Query(query string) (*incident.Set, error) {
@@ -207,11 +314,15 @@ func (m *Monitor) Query(query string) (*incident.Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.ev.Eval(p), nil
 }
 
 // Unwatch removes a registered watch; it reports whether the name existed.
 func (m *Monitor) Unwatch(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, w := range m.watches {
 		if w.name == name {
 			m.watches = append(m.watches[:i], m.watches[i+1:]...)

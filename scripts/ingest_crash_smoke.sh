@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for live ingestion: a real wlq-serve process
+# accepts appends through its write-ahead log and is killed with SIGKILL
+# mid-stream — no drain, no flush. A second process opening the same WAL
+# directory must recover every record the first one acknowledged (and at
+# most the durable unacknowledged tail of one torn batch), then answer a
+# battery of clinic queries digest-equal to a control server fed exactly
+# the recovered prefix. This is the process-level twin of
+# internal/server/ingest_test.go's TestAppendRecovery.
+#
+# Requires: go, curl, python3. Exits non-zero on the first broken assertion.
+set -euo pipefail
+
+BASE_PORT="${INGEST_SMOKE_PORT:-19280}"
+LOG_SPEC="clinic=clinic:8:7"
+
+VICTIM_PORT=$BASE_PORT
+CONTROL_PORT=$((BASE_PORT + 1))
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "ingest-smoke: $*"; }
+die() { echo "ingest-smoke: FAIL: $*" >&2; exit 1; }
+
+say "building wlq-serve"
+go build -o "$workdir/wlq-serve" ./cmd/wlq-serve
+
+start_server() { # port wal-subdir logfile -> pid
+  "$workdir/wlq-serve" -addr "127.0.0.1:$1" -log "$LOG_SPEC" \
+    -ingest -wal-dir "$workdir/$2" -no-request-log \
+    >"$workdir/$3" 2>&1 &
+  echo $!
+}
+
+wait_ready() { # url
+  for _ in $(seq 1 50); do
+    if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  die "$1 never became ready"
+}
+
+watermark() { # url -> the live log's applied lsn high-water mark
+  curl -fsS "$1/v1/logs" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+log = doc["logs"][0]
+assert log.get("live"), "log not live"
+print(log.get("ingest_lsn", 0))
+'
+}
+
+say "starting victim on port $VICTIM_PORT"
+pids+=("$(start_server "$VICTIM_PORT" wal victim.log)")
+wait_ready "http://127.0.0.1:$VICTIM_PORT"
+
+BASE_LSN=$(watermark "http://127.0.0.1:$VICTIM_PORT")
+say "base snapshot watermark: lsn $BASE_LSN"
+
+# The appender drives complete 4-record clinic instances (START, GetRefer,
+# SeeDoctor, END) one batch per request, with explicit dense lsns so the
+# control server can be fed the byte-identical prefix later. Every attempted
+# line lands in generated.jsonl BEFORE it is posted; every acknowledged
+# batch's last_lsn lands in confirmed_lsn.txt. The appender dies with the
+# server — any non-200 stops it.
+appender() {
+  local lsn=$BASE_LSN
+  for i in $(seq 1 2000); do
+    local wid=$((1000 + i))
+    local batch="" seq=0
+    for act in START GetRefer SeeDoctor END; do
+      seq=$((seq + 1)); lsn=$((lsn + 1))
+      batch+="{\"lsn\":$lsn,\"wid\":$wid,\"seq\":$seq,\"act\":\"$act\"}"$'\n'
+    done
+    printf '%s' "$batch" >>"$workdir/generated.jsonl"
+    local code
+    code=$(curl -sS -o "$workdir/append-resp.json" -w '%{http_code}' \
+      --data-binary "$batch" \
+      "http://127.0.0.1:$VICTIM_PORT/v1/logs/clinic/append" 2>/dev/null) || return 0
+    [ "$code" = 200 ] || return 0
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["last_lsn"])' \
+      "$workdir/append-resp.json" >"$workdir/confirmed_lsn.txt"
+  done
+}
+appender &
+appender_pid=$!
+
+say "waiting for acknowledged appends, then killing the victim mid-stream"
+for i in $(seq 1 50); do
+  if [ -s "$workdir/confirmed_lsn.txt" ] \
+    && [ "$(cat "$workdir/confirmed_lsn.txt")" -ge $((BASE_LSN + 40)) ]; then break; fi
+  [ "$i" = 50 ] && die "appender never confirmed 10 batches: $(cat "$workdir/victim.log")"
+  sleep 0.1
+done
+kill -9 "${pids[0]}"
+wait "$appender_pid" 2>/dev/null || true
+CONFIRMED_LSN=$(cat "$workdir/confirmed_lsn.txt")
+say "victim killed; last acknowledged lsn $CONFIRMED_LSN"
+
+[ -n "$(ls -A "$workdir/wal/clinic" 2>/dev/null)" ] \
+  || die "no WAL segments under $workdir/wal/clinic"
+
+say "restarting on the same WAL directory"
+pids[0]=$(start_server "$VICTIM_PORT" wal victim2.log)
+wait_ready "http://127.0.0.1:$VICTIM_PORT"
+
+RECOVERED_LSN=$(watermark "http://127.0.0.1:$VICTIM_PORT")
+say "recovered watermark: lsn $RECOVERED_LSN"
+# Durability contract: every acknowledged record survives. The recovered
+# watermark may exceed the confirmed one by the durable tail of the batch
+# whose response the kill swallowed, never lag it.
+[ "$RECOVERED_LSN" -ge "$CONFIRMED_LSN" ] \
+  || die "acknowledged records lost: recovered lsn $RECOVERED_LSN < confirmed $CONFIRMED_LSN"
+
+curl -fsS "http://127.0.0.1:$VICTIM_PORT/metrics" >"$workdir/metrics.json"
+python3 -c '
+import json, sys
+ing = json.load(open(sys.argv[1])).get("ingest") or sys.exit("no ingest metrics section")
+want = int(sys.argv[2])
+assert ing["replayed"] == want, f"replayed {ing['replayed']}, want {want}"
+' "$workdir/metrics.json" $((RECOVERED_LSN - BASE_LSN))
+say "recovery replayed $((RECOVERED_LSN - BASE_LSN)) WAL records over the snapshot"
+
+say "feeding the control server the recovered prefix"
+pids+=("$(start_server "$CONTROL_PORT" control-wal control.log)")
+wait_ready "http://127.0.0.1:$CONTROL_PORT"
+head -n $((RECOVERED_LSN - BASE_LSN)) "$workdir/generated.jsonl" >"$workdir/prefix.jsonl"
+code=$(curl -sS -o "$workdir/control-append.json" -w '%{http_code}' \
+  --data-binary @"$workdir/prefix.jsonl" \
+  "http://127.0.0.1:$CONTROL_PORT/v1/logs/clinic/append")
+[ "$code" = 200 ] || die "control append returned $code: $(cat "$workdir/control-append.json")"
+
+say "recovered answers must be digest-equal to the control's"
+QUERIES=(
+  '{"log":"clinic","query":"GetRefer -> SeeDoctor"}'
+  '{"log":"clinic","query":"GetRefer . SeeDoctor"}'
+  '{"log":"clinic","query":"GetRefer | UpdateRefer"}'
+  '{"log":"clinic","query":"SeeDoctor -> (UpdateRefer -> GetReimburse)"}'
+  '{"log":"clinic","query":"!CheckIn . SeeDoctor"}'
+  '{"log":"clinic","query":"GetRefer -> SeeDoctor","mode":"count"}'
+  '{"log":"clinic","query":"SeeDoctor","mode":"instances"}'
+)
+for q in "${QUERIES[@]}"; do
+  for side in victim control; do
+    port=$VICTIM_PORT; [ "$side" = control ] && port=$CONTROL_PORT
+    code=$(curl -sS -o "$workdir/$side-q.json" -w '%{http_code}' \
+      -H 'Content-Type: application/json' -d "$q" "http://127.0.0.1:$port/v1/query")
+    [ "$code" = 200 ] || die "$side query $q returned $code: $(cat "$workdir/$side-q.json")"
+  done
+  # Digest only the answer-defining fields; timings differ run to run.
+  digest='import json,sys
+doc = json.load(open(sys.argv[1]))
+keep = {k: doc.get(k) for k in ("count", "incidents", "instances", "exists")}
+print(json.dumps(keep, sort_keys=True))'
+  a=$(python3 -c "$digest" "$workdir/victim-q.json")
+  b=$(python3 -c "$digest" "$workdir/control-q.json")
+  [ "$a" = "$b" ] || die "answers diverge for $q
+recovered: $a
+control:   $b"
+done
+say "all ${#QUERIES[@]} queries digest-equal"
+
+say "recovered server must still accept appends at the watermark"
+next=$((RECOVERED_LSN + 1))
+body="{\"lsn\":$next,\"wid\":9999,\"seq\":1,\"act\":\"START\"}"
+code=$(curl -sS -o "$workdir/post-recovery.json" -w '%{http_code}' \
+  --data-binary "$body" "http://127.0.0.1:$VICTIM_PORT/v1/logs/clinic/append")
+[ "$code" = 200 ] || die "post-recovery append returned $code: $(cat "$workdir/post-recovery.json")"
+
+say "PASS"
